@@ -1,0 +1,148 @@
+//===-- bench/fig3_blur_strategies.cpp - Paper Figure 3 + section 3.1 --------===//
+//
+// Regenerates the paper's Figure 3: for the two-stage blur, quantifies
+// span (available parallelism), max reuse distance (locality), and work
+// amplification (redundant recomputation) for each scheduling strategy,
+// plus measured wall time through the JIT backend (E1/E2 in DESIGN.md).
+// Analytic metrics are gathered at a reduced size (reuse tracking is
+// per-element); times are measured at full size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+#include "codegen/Jit.h"
+#include "metrics/ScheduleMetrics.h"
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+struct Harness {
+  ImageParam In;
+  Var x{"x"}, y{"y"};
+  Func Blurx, Out;
+
+  Harness() : In(UInt(8), 2, "f3_in"), Blurx("f3_blurx"), Out("f3_out") {
+    auto InC = [&](Expr X, Expr Y) {
+      return cast(UInt(16), In(clamp(X, 0, In.width() - 1),
+                               clamp(Y, 0, In.height() - 1)));
+    };
+    Blurx(x, y) =
+        cast(UInt(16), (InC(x - 1, y) + InC(x, y) + InC(x + 1, y)) / 3);
+    Out(x, y) = cast(UInt(8),
+                     (Blurx(x, y - 1) + Blurx(x, y) + Blurx(x, y + 1)) / 3);
+  }
+
+  void reset() {
+    Out.function().resetSchedule();
+    Blurx.function().resetSchedule();
+  }
+};
+
+ParamBindings makeParams(Harness &H, int W, int HH, RawBuffer *OutRaw,
+                         std::vector<Buffer<uint8_t>> *Keep) {
+  Buffer<uint8_t> Input(W, HH);
+  Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+  Buffer<uint8_t> Output(W, HH);
+  Keep->push_back(Input);
+  Keep->push_back(Output);
+  ParamBindings P;
+  P.bind("f3_in", Input);
+  P.bind(H.Out.name(), Output);
+  *OutRaw = Output.raw();
+  return P;
+}
+
+} // namespace
+
+int main() {
+  // Paper size 3072x2046; metrics at 192x128 (identical shape, tractable
+  // per-element reuse tracking), times at 1536x1024.
+  const int MW = 192, MH = 128;
+  const int TW = 1536, TH = 1024;
+
+  struct Strategy {
+    const char *Name;
+    std::function<void(Harness &)> Apply;
+    const char *PaperRow;
+  };
+  std::vector<Strategy> Strategies = {
+      {"breadth_first",
+       [](Harness &H) { H.Blurx.computeRoot(); },
+       "span>=WxH reuse=whole-image amp=1.0"},
+      {"full_fusion", [](Harness &) {},
+       "span>=WxH reuse=3x3 amp=2.0 (amplified by stencil)"},
+      {"sliding_window",
+       [](Harness &H) { H.Blurx.storeRoot().computeAt(H.Out, H.y); },
+       "span=W reuse=W*(3+3) amp=1.0 (serialized y)"},
+      {"tiled",
+       [](Harness &H) {
+         Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+         H.Out.tile(H.x, H.y, xo, yo, xi, yi, 32, 32).parallel(yo);
+         H.Blurx.computeAt(H.Out, xo);
+       },
+       "span>=WxH reuse=34x32x3 amp=1.0625"},
+      {"sliding_in_tiles",
+       [](Harness &H) {
+         Var ty("ty");
+         H.Out.split(H.y, ty, H.y, 8).parallel(ty).vectorize(H.x, 8);
+         H.Blurx.storeAt(H.Out, ty).computeAt(H.Out, H.y).vectorize(H.x, 8);
+       },
+       "span=WxH/8 reuse=W*(3+3) amp=1.25"},
+  };
+
+  std::printf("=== Figure 3: strategies for the two-stage blur ===\n");
+  std::printf("metrics at %dx%d (analytic), time at %dx%d (JIT, native)\n\n",
+              MW, MH, TW, TH);
+  std::printf("%-18s %12s %14s %10s %12s %12s\n", "strategy",
+              "span(iters)", "reuse(ops)", "work-amp", "peak-mem(B)",
+              "time(ms)");
+
+  int64_t BreadthOps = 0;
+  double BreadthMs = 0;
+  for (const Strategy &S : Strategies) {
+    Harness H;
+    H.reset();
+    S.Apply(H);
+
+    std::vector<Buffer<uint8_t>> Keep;
+    RawBuffer OutRaw;
+    ParamBindings MetricParams = makeParams(H, MW, MH, &OutRaw, &Keep);
+    LoweredPipeline MetricsLP = lower(H.Out.function());
+    StrategyMetrics M =
+        analyzeStrategy(S.Name, MetricsLP, MetricParams, BreadthOps);
+    if (BreadthOps == 0) {
+      // First row is breadth-first: it defines amplification 1.0.
+      BreadthOps = M.MemoryOps;
+      M.WorkAmplification = 1.0;
+    }
+
+    Harness HT;
+    HT.reset();
+    S.Apply(HT);
+    std::vector<Buffer<uint8_t>> KeepT;
+    RawBuffer OutRawT;
+    ParamBindings TimeParams = makeParams(HT, TW, TH, &OutRawT, &KeepT);
+    CompiledPipeline CP = jitCompile(lower(HT.Out.function()));
+    double Ms = benchmarkMs(CP, TimeParams, 5);
+    if (BreadthMs == 0)
+      BreadthMs = Ms;
+
+    std::printf("%-18s %12lld %14lld %10.3f %12lld %9.3f (%4.1fx)\n",
+                S.Name, (long long)M.Span, (long long)M.MaxReuseDistance,
+                M.WorkAmplification, (long long)M.PeakMemoryBytes, Ms,
+                BreadthMs / Ms);
+  }
+  std::printf("\npaper reference rows (3072x2046, 4-core Xeon):\n");
+  for (const Strategy &S : Strategies)
+    std::printf("  %-18s %s\n", S.Name, S.PaperRow);
+  std::printf("\nSection 3.1 claim: tiled/fused strategies beat "
+              "breadth-first (paper: 10x on 4 cores; locality-only effect "
+              "on this machine shown above).\n");
+  return 0;
+}

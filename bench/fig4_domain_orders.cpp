@@ -1,0 +1,95 @@
+//===-- bench/fig4_domain_orders.cpp - Paper Figure 4 -------------------------===//
+//
+// Enumerates the domain-order choices of the paper's Figure 4 on the blur
+// pipeline — serial row-major/column-major, vectorized, parallel, and
+// split/tiled traversals — and times each (E3 in DESIGN.md). The call
+// schedule is held fixed (producer at root) so only the domain order
+// varies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Jit.h"
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+#include "metrics/ScheduleMetrics.h"
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+struct Harness {
+  ImageParam In;
+  Var x{"x"}, y{"y"};
+  Func Blurx, Out;
+  Harness() : In(UInt(8), 2, "f4_in"), Blurx("f4_blurx"), Out("f4_out") {
+    auto InC = [&](Expr X, Expr Y) {
+      return cast(UInt(16), In(clamp(X, 0, In.width() - 1),
+                               clamp(Y, 0, In.height() - 1)));
+    };
+    Blurx(x, y) =
+        cast(UInt(16), (InC(x - 1, y) + InC(x, y) + InC(x + 1, y)) / 3);
+    Out(x, y) = cast(UInt(8),
+                     (Blurx(x, y - 1) + Blurx(x, y) + Blurx(x, y + 1)) / 3);
+    Blurx.computeRoot();
+  }
+};
+
+} // namespace
+
+int main() {
+  const int W = 1536, H = 1024;
+  struct Order {
+    const char *Name;
+    std::function<void(Harness &)> Apply;
+  };
+  std::vector<Order> Orders = {
+      {"serial y, serial x (row-major)", [](Harness &) {}},
+      {"serial x, serial y (column-major)",
+       [](Harness &H) { H.Out.reorder(H.y, H.x); }},
+      {"serial y, vectorized x",
+       [](Harness &H) { H.Out.vectorize(H.x, 8); }},
+      {"parallel y, vectorized x",
+       [](Harness &H) { H.Out.parallel(H.y).vectorize(H.x, 8); }},
+      {"split 2x2 (tiled traversal)",
+       [](Harness &H) {
+         Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+         H.Out.tile(H.x, H.y, xo, yo, xi, yi, 2, 2);
+       }},
+      {"tiled 32x32, vec x, parallel tiles",
+       [](Harness &H) {
+         Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+         H.Out.tile(H.x, H.y, xo, yo, xi, yi, 32, 32)
+             .vectorize(xi, 8)
+             .parallel(yo);
+       }},
+      {"unrolled x by 4",
+       [](Harness &H) { H.Out.unroll(H.x, 4); }},
+  };
+
+  std::printf("=== Figure 4: domain orders for the blur output stage ===\n");
+  std::printf("(%dx%d, producer at root; only the traversal varies)\n\n", W,
+              H);
+  std::printf("%-40s %10s\n", "domain order", "time(ms)");
+  for (const Order &O : Orders) {
+    Harness Hn;
+    Hn.Out.function().resetSchedule();
+    Hn.Blurx.function().resetSchedule();
+    Hn.Blurx.computeRoot();
+    O.Apply(Hn);
+    Buffer<uint8_t> Input(W, H);
+    Input.fill([](int X, int Y) { return (X + Y) % 256; });
+    Buffer<uint8_t> Output(W, H);
+    ParamBindings Params;
+    Params.bind("f4_in", Input);
+    Params.bind(Hn.Out.name(), Output);
+    CompiledPipeline CP = jitCompile(lower(Hn.Out.function()));
+    std::printf("%-40s %10.3f\n", O.Name, benchmarkMs(CP, Params, 5));
+  }
+  std::printf("\n(The paper's Figure 4 is illustrative; this regenerates "
+              "the same choice space with measured times.)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===-- bench/passes_microbench.cpp - Compiler pass microbenchmarks -----------===//
+//
+// Supporting benchmark (E10 in DESIGN.md): google-benchmark timings of the
+// compiler itself — simplification, bounds analysis, and full lowering of
+// small and large pipelines — so compile-time regressions are visible.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "analysis/Bounds.h"
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+#include "transforms/Simplify.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace halide;
+
+namespace {
+
+Expr buildBoundsExpr() {
+  Expr X = Variable::make(Int(32), "x");
+  Expr Y = Variable::make(Int(32), "y");
+  Expr E = (X * 8 + 7) - (X * 8) + (Y * 32 + 31) / 32 +
+           min(X * 4 + 3, Y * 4) - max(X, Y) + (X * 16 + 5) % 16;
+  return E;
+}
+
+void BM_Simplify(benchmark::State &State) {
+  Expr E = buildBoundsExpr();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simplify(E));
+}
+BENCHMARK(BM_Simplify);
+
+void BM_BoundsOfExpr(benchmark::State &State) {
+  Expr E = buildBoundsExpr();
+  Scope<Interval> S;
+  S.push("x", Interval(Expr(0), Expr(1000)));
+  S.push("y", Interval(Expr(0), Expr(1000)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(boundsOfExprInScope(E, S));
+}
+BENCHMARK(BM_BoundsOfExpr);
+
+void BM_LowerBlur(benchmark::State &State) {
+  App A = makeBlurApp();
+  A.ScheduleTuned();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lower(A.Output.function()).Body.get());
+}
+BENCHMARK(BM_LowerBlur);
+
+void BM_LowerCameraPipe(benchmark::State &State) {
+  App A = makeCameraPipeApp();
+  A.ScheduleTuned();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lower(A.Output.function()).Body.get());
+}
+BENCHMARK(BM_LowerCameraPipe);
+
+void BM_LowerLocalLaplacian(benchmark::State &State) {
+  App A = makeLocalLaplacianApp(/*Levels=*/6);
+  A.ScheduleTuned();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lower(A.Output.function()).Body.get());
+}
+BENCHMARK(BM_LowerLocalLaplacian);
+
+} // namespace
+
+BENCHMARK_MAIN();

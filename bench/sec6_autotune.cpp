@@ -1,0 +1,81 @@
+//===-- bench/sec6_autotune.cpp - Section 6.1 autotuner convergence ------------===//
+//
+// Regenerates the paper's section-6.1 observations (E8 in DESIGN.md): the
+// genetic algorithm's best-per-generation convergence curve, and the
+// comparison of the converged schedule to breadth-first. Budgets are
+// scaled down from the paper's population-128 / multi-hour runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "autotune/Autotuner.h"
+#include "codegen/Jit.h"
+#include "lang/ImageParam.h"
+#include "metrics/ScheduleMetrics.h"
+
+#include <cstdio>
+
+using namespace halide;
+
+int main() {
+  std::printf("=== Section 6.1: autotuning convergence ===\n\n");
+
+  // Blur.
+  {
+    App A = makeBlurApp();
+    const int W = 512, H = 384;
+    ParamBindings Inputs = A.MakeInputs(W, H);
+    Buffer<uint8_t> Out(W, H);
+
+    A.ScheduleBreadthFirst();
+    ParamBindings Params = Inputs;
+    Params.bind(A.Output.name(), Out);
+    double BfMs =
+        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+
+    TuneOptions Opts;
+    Opts.Population = 12;
+    Opts.Generations = 5;
+    Opts.BenchIters = 2;
+    Opts.Seed = 42;
+    TuneResult R = autotune(A.Output, Inputs, Out.raw(), Opts);
+
+    std::printf("blur %dx%d: breadth-first %.3f ms\n", W, H, BfMs);
+    std::printf("  generation best (ms):");
+    for (double Ms : R.BestPerGeneration)
+      std::printf(" %.3f", Ms);
+    std::printf("\n  converged: %.3f ms (%.2fx over breadth-first) after "
+                "%d candidates\n",
+                R.BestMs, BfMs / R.BestMs, R.CandidatesEvaluated);
+    std::printf("  best schedule: %s\n\n", R.Description.c_str());
+  }
+
+  // Histogram equalization (reductions constrain the space).
+  {
+    App A = makeHistogramEqualizeApp();
+    const int W = 448, H = 320;
+    ParamBindings Inputs = A.MakeInputs(W, H);
+    Buffer<uint8_t> Out(W, H);
+    A.ScheduleBreadthFirst();
+    ParamBindings Params = Inputs;
+    Params.bind(A.Output.name(), Out);
+    double BfMs =
+        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+
+    TuneOptions Opts;
+    Opts.Population = 8;
+    Opts.Generations = 4;
+    Opts.BenchIters = 2;
+    Opts.Seed = 7;
+    TuneResult R = autotune(A.Output, Inputs, Out.raw(), Opts);
+    std::printf("histeq %dx%d: breadth-first %.3f ms -> tuned %.3f ms "
+                "(%.2fx), %d candidates\n",
+                W, H, BfMs, R.BestMs, BfMs / R.BestMs,
+                R.CandidatesEvaluated);
+    std::printf("  best schedule: %s\n", R.Description.c_str());
+  }
+  std::printf("\npaper: tuning converged within 15%% of final performance "
+              "in under a day per app (population 128); this harness uses "
+              "minutes-scale budgets with the same algorithm.\n");
+  return 0;
+}

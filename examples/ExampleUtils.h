@@ -1,0 +1,69 @@
+//===-- examples/ExampleUtils.h - Shared example helpers --------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the runnable examples: PGM/PPM image writers and
+/// a wall-clock timer, so each example can save its result and report a
+/// frame time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_EXAMPLES_EXAMPLEUTILS_H
+#define HALIDE_EXAMPLES_EXAMPLEUTILS_H
+
+#include "runtime/Buffer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace halide {
+namespace examples {
+
+/// Writes a grayscale 8-bit image as binary PGM.
+inline void writePgm(const Buffer<uint8_t> &Img, const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "could not open %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "P5\n%d %d\n255\n", Img.width(), Img.height());
+  for (int Y = 0; Y < Img.height(); ++Y)
+    for (int X = 0; X < Img.width(); ++X)
+      std::fputc(Img(X, Y), F);
+  std::fclose(F);
+  std::printf("wrote %s (%dx%d)\n", Path.c_str(), Img.width(), Img.height());
+}
+
+/// Writes a 3-channel 8-bit image as binary PPM.
+inline void writePpm(const Buffer<uint8_t> &Img, const std::string &Path) {
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "could not open %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "P6\n%d %d\n255\n", Img.width(), Img.height());
+  for (int Y = 0; Y < Img.height(); ++Y)
+    for (int X = 0; X < Img.width(); ++X)
+      for (int C = 0; C < 3; ++C)
+        std::fputc(Img(X, Y, C), F);
+  std::fclose(F);
+  std::printf("wrote %s (%dx%d)\n", Path.c_str(), Img.width(), Img.height());
+}
+
+/// Milliseconds taken by one invocation of \p Work.
+inline double timeOnceMs(const std::function<void()> &Work) {
+  auto Start = std::chrono::steady_clock::now();
+  Work();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+} // namespace examples
+} // namespace halide
+
+#endif // HALIDE_EXAMPLES_EXAMPLEUTILS_H

@@ -1,0 +1,49 @@
+//===-- examples/local_laplacian.cpp - The paper's flagship app ----------------===//
+//
+// Runs the ~99-stage local Laplacian filter (paper Figure 1) with the
+// breadth-first and tuned schedules and reports the speedup, demonstrating
+// that schedule choice — not algorithm changes — drives the performance
+// difference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "apps/Apps.h"
+#include "codegen/Jit.h"
+#include "examples/ExampleUtils.h"
+#include "metrics/ScheduleMetrics.h"
+
+#include <cstdio>
+
+using namespace halide;
+using namespace halide::examples;
+
+int main() {
+  const int W = 512, H = 384;
+  App A = makeLocalLaplacianApp(/*Levels=*/6);
+
+  std::map<std::string, Function> Env = buildEnvironment(A.Output.function());
+  std::printf("local Laplacian filters: %zu stages in the pipeline graph\n",
+              Env.size());
+
+  ParamBindings Params = A.MakeInputs(W, H);
+  Buffer<uint16_t> Out(W, H);
+  Params.bind(A.Output.name(), Out);
+
+  A.ScheduleBreadthFirst();
+  CompiledPipeline Bf = jitCompile(lower(A.Output.function()));
+  double BfMs = benchmarkMs(Bf, Params, 3);
+  std::printf("  breadth-first schedule: %8.2f ms\n", BfMs);
+
+  A.ScheduleTuned();
+  CompiledPipeline Tuned = jitCompile(lower(A.Output.function()));
+  double TunedMs = benchmarkMs(Tuned, Params, 3);
+  std::printf("  tuned schedule:         %8.2f ms  (%.2fx)\n", TunedMs,
+              BfMs / TunedMs);
+
+  // Tone-map to 8 bits for viewing.
+  Buffer<uint8_t> View(W, H);
+  View.fill([&](int X, int Y) { return Out(X, Y) >> 8; });
+  writePgm(View, "local_laplacian.pgm");
+  return 0;
+}

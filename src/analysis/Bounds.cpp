@@ -1,0 +1,427 @@
+//===-- analysis/Bounds.cpp -------------------------------------------------=//
+
+#include "analysis/Bounds.h"
+#include "ir/IREquality.h"
+#include "ir/IROperators.h"
+#include "ir/IRVisitor.h"
+
+using namespace halide;
+
+namespace {
+
+/// Interval evaluation of expressions. One visit() per node kind; the
+/// current result is kept in `Result`.
+class BoundsVisitor : public IRVisitor {
+public:
+  BoundsVisitor(const Scope<Interval> &VarScope) : Outer(VarScope) {}
+
+  Interval bounds(const Expr &E) {
+    E.accept(this);
+    return Result;
+  }
+
+  void visit(const IntImm *Op) override {
+    Result = Interval::single(Expr(Op));
+  }
+  void visit(const UIntImm *Op) override {
+    Result = Interval::single(Expr(Op));
+  }
+  void visit(const FloatImm *Op) override {
+    Result = Interval::single(Expr(Op));
+  }
+  void visit(const StringImm *) override { Result = Interval::everything(); }
+
+  void visit(const Variable *Op) override {
+    if (Inner.contains(Op->Name)) {
+      Result = Inner.get(Op->Name);
+      return;
+    }
+    if (Outer.contains(Op->Name)) {
+      Result = Outer.get(Op->Name);
+      return;
+    }
+    // Unknown variables stay symbolic: the interval is the point [v, v].
+    Result = Interval::single(Expr(Op));
+  }
+
+  void visit(const Cast *Op) override {
+    Interval A = bounds(Op->Value);
+    Type From = Op->Value.type().element();
+    Type To = Op->NodeType.element();
+    // Widening integer casts and int->float casts are monotonic: bounds cast
+    // through. Anything else falls back to the target type's full range
+    // (finite, so clamped gathers still get usable allocation bounds).
+    bool Monotone =
+        (From.isInt() || From.isUInt()) &&
+        ((To.isFloat()) ||
+         ((To.isInt() || To.isUInt()) && To.Bits >= From.Bits &&
+          !(From.isInt() && To.isUInt())));
+    if (Monotone && A.isBounded()) {
+      Result = Interval(cast(To, A.Min), cast(To, A.Max));
+      return;
+    }
+    if (To.isFloat() && A.isBounded() && From.isFloat() && To.Bits >= From.Bits) {
+      Result = Interval(cast(To, A.Min), cast(To, A.Max));
+      return;
+    }
+    if (To.isHandle()) {
+      Result = Interval::everything();
+      return;
+    }
+    Result = Interval(makeTypeMin(To), makeTypeMax(To));
+  }
+
+  void visit(const Add *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    Result.Min = (A.hasLowerBound() && B.hasLowerBound()) ? A.Min + B.Min
+                                                          : Expr();
+    Result.Max = (A.hasUpperBound() && B.hasUpperBound()) ? A.Max + B.Max
+                                                          : Expr();
+  }
+
+  void visit(const Sub *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    Result.Min = (A.hasLowerBound() && B.hasUpperBound()) ? A.Min - B.Max
+                                                          : Expr();
+    Result.Max = (A.hasUpperBound() && B.hasLowerBound()) ? A.Max - B.Min
+                                                          : Expr();
+  }
+
+  void visit(const Mul *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    // Scale by a single point (the common case: tile sizes, strides).
+    if (B.isSinglePoint() && isConst(B.Min)) {
+      scaleByConstPoint(A, B.Min);
+      return;
+    }
+    if (A.isSinglePoint() && isConst(A.Min)) {
+      scaleByConstPoint(B, A.Min);
+      return;
+    }
+    if (A.isSinglePoint() && B.isSinglePoint()) {
+      Result = Interval::single(A.Min * B.Min);
+      return;
+    }
+    // General case: min/max over the four corners, when fully bounded.
+    if (A.isBounded() && B.isBounded()) {
+      Expr C0 = A.Min * B.Min, C1 = A.Min * B.Max;
+      Expr C2 = A.Max * B.Min, C3 = A.Max * B.Max;
+      Result.Min = min(min(C0, C1), min(C2, C3));
+      Result.Max = max(max(C0, C1), max(C2, C3));
+      return;
+    }
+    Result = Interval::everything();
+  }
+
+  void visit(const Div *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    // Only constant, nonzero divisors are handled precisely; image code
+    // divides by tile sizes and pyramid strides, which are constants.
+    int64_t DivisorValue;
+    double DivisorFloat;
+    if (B.isSinglePoint() && asConstInt(B.Min, &DivisorValue) &&
+        DivisorValue != 0) {
+      if (DivisorValue > 0) {
+        Result.Min = A.hasLowerBound() ? A.Min / B.Min : Expr();
+        Result.Max = A.hasUpperBound() ? A.Max / B.Min : Expr();
+      } else {
+        Result.Min = A.hasUpperBound() ? A.Max / B.Min : Expr();
+        Result.Max = A.hasLowerBound() ? A.Min / B.Min : Expr();
+      }
+      return;
+    }
+    if (B.isSinglePoint() && asConstFloat(B.Min, &DivisorFloat) &&
+        DivisorFloat != 0.0) {
+      if (DivisorFloat > 0) {
+        Result.Min = A.hasLowerBound() ? A.Min / B.Min : Expr();
+        Result.Max = A.hasUpperBound() ? A.Max / B.Min : Expr();
+      } else {
+        Result.Min = A.hasUpperBound() ? A.Max / B.Min : Expr();
+        Result.Max = A.hasLowerBound() ? A.Min / B.Min : Expr();
+      }
+      return;
+    }
+    if (A.isSinglePoint() && B.isSinglePoint()) {
+      Result = Interval::single(A.Min / B.Min);
+      return;
+    }
+    Result = Interval::everything();
+  }
+
+  void visit(const Mod *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    if (A.isSinglePoint() && B.isSinglePoint()) {
+      Result = Interval::single(A.Min % B.Min);
+      return;
+    }
+    // Floor-mod by a positive bounded divisor lies in [0, Bmax-1].
+    if (B.hasUpperBound()) {
+      Result = Interval(makeZero(Op->NodeType),
+                        B.Max - makeOne(Op->NodeType));
+      return;
+    }
+    Result = Interval::everything();
+  }
+
+  void visit(const Min *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    Result.Min = (A.hasLowerBound() && B.hasLowerBound()) ? min(A.Min, B.Min)
+                                                          : Expr();
+    if (A.hasUpperBound() && B.hasUpperBound())
+      Result.Max = min(A.Max, B.Max);
+    else
+      Result.Max = A.hasUpperBound() ? A.Max : B.Max;
+  }
+
+  void visit(const Max *Op) override {
+    Interval A = bounds(Op->A), B = bounds(Op->B);
+    if (A.hasLowerBound() && B.hasLowerBound())
+      Result.Min = max(A.Min, B.Min);
+    else
+      Result.Min = A.hasLowerBound() ? A.Min : B.Min;
+    Result.Max = (A.hasUpperBound() && B.hasUpperBound()) ? max(A.Max, B.Max)
+                                                          : Expr();
+  }
+
+  void visit(const EQ *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const NE *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const LT *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const LE *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const GT *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const GE *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const And *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const Or *Op) override { boolResult(Op->A, Op->B); }
+  void visit(const Not *Op) override { boolResult(Op->A, Op->A); }
+
+  void visit(const Select *Op) override {
+    Interval T = bounds(Op->TrueValue), F = bounds(Op->FalseValue);
+    Result = intervalUnion(T, F);
+  }
+
+  void visit(const Load *Op) override {
+    // The loaded value is unknown; only its type bounds it.
+    bounds(Op->Index); // still visit for completeness
+    typeRange(Op->NodeType);
+  }
+
+  void visit(const Ramp *Op) override {
+    Interval Base = bounds(Op->Base);
+    Interval Stride = bounds(Op->Stride);
+    Expr LastLane = makeConst(Op->Base.type(), int64_t(Op->Lanes - 1));
+    if (Base.isBounded() && Stride.isBounded()) {
+      Expr EndLo = Base.Min + Stride.Min * LastLane;
+      Expr EndHi = Base.Max + Stride.Max * LastLane;
+      Result.Min = min(Base.Min, min(EndLo, EndHi));
+      Result.Max = max(Base.Max, max(EndLo, EndHi));
+      return;
+    }
+    Result = Interval::everything();
+  }
+
+  void visit(const Broadcast *Op) override { Result = bounds(Op->Value); }
+
+  void visit(const Call *Op) override {
+    // Visit args (their bounds do not affect the call's value bounds).
+    if (Op->CallKind == CallType::PureExtern) {
+      externCallBounds(Op);
+      return;
+    }
+    // Values produced by other stages or images: only the type bounds them.
+    typeRange(Op->NodeType);
+  }
+
+  void visit(const Let *Op) override {
+    Interval ValueBounds = bounds(Op->Value);
+    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    Result = bounds(Op->Body);
+  }
+
+  /// Also expose the inner scope so box computation can share it.
+  Scope<Interval> Inner;
+
+private:
+  void typeRange(Type T) {
+    if (T.isHandle()) {
+      Result = Interval::everything();
+      return;
+    }
+    if (T.isFloat()) {
+      // Floats are effectively unbounded for index purposes.
+      Result = Interval::everything();
+      return;
+    }
+    Result = Interval(makeTypeMin(T.element()), makeTypeMax(T.element()));
+  }
+
+  void boolResult(const Expr &A, const Expr &B) {
+    bounds(A);
+    bounds(B);
+    Result = Interval(makeFalse(), makeTrue());
+  }
+
+  void scaleByConstPoint(const Interval &A, const Expr &Factor) {
+    if (isPositiveConst(Factor)) {
+      Result.Min = A.hasLowerBound() ? A.Min * Factor : Expr();
+      Result.Max = A.hasUpperBound() ? A.Max * Factor : Expr();
+      return;
+    }
+    if (isNegativeConst(Factor)) {
+      Result.Min = A.hasUpperBound() ? A.Max * Factor : Expr();
+      Result.Max = A.hasLowerBound() ? A.Min * Factor : Expr();
+      return;
+    }
+    // Zero.
+    Result = Interval::single(Factor);
+  }
+
+  void externCallBounds(const Call *Op) {
+    const std::string &Name = Op->Name;
+    if (Op->Args.size() == 1) {
+      Interval A = bounds(Op->Args[0]);
+      // Monotonically increasing functions map bounds through.
+      if (Name == "sqrt" || Name == "exp" || Name == "log" ||
+          Name == "floor" || Name == "ceil" || Name == "round") {
+        if (A.isBounded()) {
+          Result = Interval(
+              Call::make(Op->NodeType, Name, {A.Min}, CallType::PureExtern),
+              Call::make(Op->NodeType, Name, {A.Max}, CallType::PureExtern));
+          return;
+        }
+        Result = Interval::everything();
+        return;
+      }
+      if (Name == "sin" || Name == "cos") {
+        Result = Interval(makeConst(Op->NodeType, -1.0),
+                          makeConst(Op->NodeType, 1.0));
+        return;
+      }
+    }
+    Result = Interval::everything();
+  }
+
+  const Scope<Interval> &Outer;
+  Interval Result;
+};
+
+/// Walks a statement or expression accumulating the boxes of every buffer
+/// read (Call) and/or written (Provide), ranging loop variables over their
+/// loop bounds.
+class BoxesTouched : public IRVisitor {
+public:
+  BoxesTouched(const Scope<Interval> &VarScope, bool IncludeCalls,
+               bool IncludeProvides)
+      : Vars(VarScope), IncludeCalls(IncludeCalls),
+        IncludeProvides(IncludeProvides) {}
+
+  std::map<std::string, Box> Boxes;
+
+  void visit(const Call *Op) override {
+    IRVisitor::visit(Op); // visit args first: they may contain nested calls
+    if (!IncludeCalls)
+      return;
+    if (Op->CallKind != CallType::Halide && Op->CallKind != CallType::Image)
+      return;
+    mergeBox(Op->Name, Op->Args);
+  }
+
+  void visit(const Provide *Op) override {
+    IRVisitor::visit(Op);
+    if (!IncludeProvides)
+      return;
+    mergeBox(Op->Name, Op->Args);
+  }
+
+  void visit(const Let *Op) override {
+    Op->Value.accept(this);
+    BoundsVisitor BV(Vars);
+    BV.Inner = InnerCopy();
+    Interval ValueBounds = BV.bounds(Op->Value);
+    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    Op->Body.accept(this);
+  }
+
+  void visit(const LetStmt *Op) override {
+    Op->Value.accept(this);
+    BoundsVisitor BV(Vars);
+    BV.Inner = InnerCopy();
+    Interval ValueBounds = BV.bounds(Op->Value);
+    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    Op->Body.accept(this);
+  }
+
+  void visit(const For *Op) override {
+    Op->MinExpr.accept(this);
+    Op->Extent.accept(this);
+    BoundsVisitor BV(Vars);
+    BV.Inner = InnerCopy();
+    Interval MinB = BV.bounds(Op->MinExpr);
+    BoundsVisitor BV2(Vars);
+    BV2.Inner = InnerCopy();
+    Interval ExtB = BV2.bounds(Op->Extent);
+    Interval LoopRange;
+    LoopRange.Min = MinB.Min;
+    if (MinB.hasUpperBound() && ExtB.hasUpperBound())
+      LoopRange.Max = MinB.Max + ExtB.Max - 1;
+    ScopedBinding<Interval> Bind(Inner, Op->Name, LoopRange);
+    Op->Body.accept(this);
+  }
+
+private:
+  // The BoundsVisitor keeps its own inner scope; copy ours in so that
+  // nested lets/loops see the bindings accumulated so far.
+  Scope<Interval> InnerCopy() const { return Inner; }
+
+  void mergeBox(const std::string &Name, const std::vector<Expr> &Args) {
+    Box B(Args.size());
+    for (size_t I = 0; I < Args.size(); ++I) {
+      BoundsVisitor BV(Vars);
+      BV.Inner = InnerCopy();
+      B[I] = BV.bounds(Args[I]);
+    }
+    Boxes[Name].include(B);
+  }
+
+  const Scope<Interval> &Vars;
+  Scope<Interval> Inner;
+  bool IncludeCalls, IncludeProvides;
+};
+
+} // namespace
+
+Interval halide::boundsOfExprInScope(const Expr &E,
+                                     const Scope<Interval> &VarScope) {
+  BoundsVisitor Visitor(VarScope);
+  return Visitor.bounds(E);
+}
+
+Box halide::boxRequired(const Stmt &S, const std::string &Name,
+                        const Scope<Interval> &VarScope) {
+  BoxesTouched Walker(VarScope, /*IncludeCalls=*/true,
+                      /*IncludeProvides=*/false);
+  S.accept(&Walker);
+  return Walker.Boxes[Name];
+}
+
+Box halide::boxRequired(const Expr &E, const std::string &Name,
+                        const Scope<Interval> &VarScope) {
+  BoxesTouched Walker(VarScope, /*IncludeCalls=*/true,
+                      /*IncludeProvides=*/false);
+  E.accept(&Walker);
+  return Walker.Boxes[Name];
+}
+
+Box halide::boxProvided(const Stmt &S, const std::string &Name,
+                        const Scope<Interval> &VarScope) {
+  BoxesTouched Walker(VarScope, /*IncludeCalls=*/false,
+                      /*IncludeProvides=*/true);
+  S.accept(&Walker);
+  return Walker.Boxes[Name];
+}
+
+std::map<std::string, Box> halide::boxesTouched(
+    const Stmt &S, const Scope<Interval> &VarScope, bool IncludeCalls,
+    bool IncludeProvides) {
+  BoxesTouched Walker(VarScope, IncludeCalls, IncludeProvides);
+  S.accept(&Walker);
+  return Walker.Boxes;
+}

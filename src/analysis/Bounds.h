@@ -1,0 +1,58 @@
+//===-- analysis/Bounds.h - Bounds of expressions and regions ---*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval analysis over arbitrary expressions (paper section 4.2): computes
+/// symbolic [min, max] bounds of an expression given intervals for the free
+/// variables, and the axis-aligned boxes of regions read from / written to a
+/// given stage within a statement. Bounds inference, sliding window
+/// optimization, and storage folding are all built on these entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_ANALYSIS_BOUNDS_H
+#define HALIDE_ANALYSIS_BOUNDS_H
+
+#include "analysis/Interval.h"
+#include "analysis/Scope.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Computes a symbolic interval containing every value \p E can take, given
+/// intervals for free variables in \p VarScope. Variables not in scope are
+/// treated as unknown points: they appear symbolically in the result, which
+/// is what lets bounds inference emit per-loop-level preambles. Results are
+/// conservative (may over-approximate) but never under-approximate.
+Interval boundsOfExprInScope(const Expr &E, const Scope<Interval> &VarScope);
+
+/// The region of the Func or image named \p Name read by calls within \p S.
+/// Loop variables and lets bound inside \p S are ranged over; variables
+/// bound outside remain symbolic in the result.
+Box boxRequired(const Stmt &S, const std::string &Name,
+                const Scope<Interval> &VarScope);
+
+/// Same, for calls appearing in an expression.
+Box boxRequired(const Expr &E, const std::string &Name,
+                const Scope<Interval> &VarScope);
+
+/// The region of \p Name written by Provide nodes within \p S.
+Box boxProvided(const Stmt &S, const std::string &Name,
+                const Scope<Interval> &VarScope);
+
+/// The union of regions read or written for every Func/image touched in
+/// \p S, keyed by name. Used by bounds inference to process all producers of
+/// a consumer in one walk.
+std::map<std::string, Box> boxesTouched(const Stmt &S,
+                                        const Scope<Interval> &VarScope,
+                                        bool IncludeCalls,
+                                        bool IncludeProvides);
+
+} // namespace halide
+
+#endif // HALIDE_ANALYSIS_BOUNDS_H

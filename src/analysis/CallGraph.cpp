@@ -1,0 +1,155 @@
+//===-- analysis/CallGraph.cpp -------------------------------------------------=//
+
+#include "analysis/CallGraph.h"
+#include "ir/IREquality.h"
+#include "ir/IRVisitor.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace halide;
+
+namespace {
+
+/// Collects the names of Halide calls (and optionally image calls) in an
+/// expression.
+class CallCollector : public IRVisitor {
+public:
+  std::set<std::string> FuncCalls;
+  std::set<std::string> ImageCalls;
+  /// All distinct argument vectors per callee (for stencil counting).
+  std::map<std::string, std::vector<std::vector<Expr>>> CallArgs;
+
+  void visit(const Call *Op) override {
+    IRVisitor::visit(Op);
+    if (Op->CallKind == CallType::Halide) {
+      FuncCalls.insert(Op->Name);
+      recordArgs(Op);
+    } else if (Op->CallKind == CallType::Image) {
+      ImageCalls.insert(Op->Name);
+      recordArgs(Op);
+    }
+  }
+
+private:
+  void recordArgs(const Call *Op) {
+    auto &Seen = CallArgs[Op->Name];
+    for (const auto &Existing : Seen) {
+      if (Existing.size() != Op->Args.size())
+        continue;
+      bool Same = true;
+      for (size_t I = 0; I < Existing.size() && Same; ++I)
+        Same = equal(Existing[I], Op->Args[I]);
+      if (Same)
+        return;
+    }
+    Seen.push_back(Op->Args);
+  }
+};
+
+void collectFromFunction(const Function &F, CallCollector *Collector) {
+  if (F.hasPureDefinition())
+    F.value().accept(Collector);
+  for (const UpdateDefinition &U : F.updates()) {
+    U.Value.accept(Collector);
+    for (const Expr &Arg : U.Args)
+      Arg.accept(Collector);
+    for (const ReductionVariable &RV : U.RVars) {
+      if (RV.Min.defined())
+        RV.Min.accept(Collector);
+      if (RV.Extent.defined())
+        RV.Extent.accept(Collector);
+    }
+  }
+}
+
+void buildEnvHelper(const Function &F, std::map<std::string, Function> *Env) {
+  if (Env->count(F.name()))
+    return;
+  (*Env)[F.name()] = F;
+  CallCollector Collector;
+  collectFromFunction(F, &Collector);
+  for (const std::string &Callee : Collector.FuncCalls) {
+    if (Callee == F.name())
+      continue;
+    Function G = Function::lookup(Callee);
+    buildEnvHelper(G, Env);
+  }
+}
+
+} // namespace
+
+std::map<std::string, Function> halide::buildEnvironment(
+    const Function &Output) {
+  std::map<std::string, Function> Env;
+  buildEnvHelper(Output, &Env);
+  return Env;
+}
+
+std::vector<std::string> halide::directCallees(const Function &F) {
+  CallCollector Collector;
+  collectFromFunction(F, &Collector);
+  std::vector<std::string> Result;
+  for (const std::string &Name : Collector.FuncCalls)
+    if (Name != F.name())
+      Result.push_back(Name);
+  return Result;
+}
+
+namespace {
+
+void topoVisit(const std::string &Name,
+               const std::map<std::string, Function> &Env,
+               std::set<std::string> *Visited, std::set<std::string> *OnStack,
+               std::vector<std::string> *Order) {
+  if (Visited->count(Name))
+    return;
+  internal_assert(!OnStack->count(Name))
+      << "cycle in pipeline call graph through " << Name;
+  OnStack->insert(Name);
+  auto It = Env.find(Name);
+  internal_assert(It != Env.end()) << "function " << Name
+                                   << " missing from environment";
+  for (const std::string &Callee : directCallees(It->second))
+    topoVisit(Callee, Env, Visited, OnStack, Order);
+  OnStack->erase(Name);
+  Visited->insert(Name);
+  Order->push_back(Name);
+}
+
+} // namespace
+
+std::vector<std::string> halide::realizationOrder(
+    const Function &Output, const std::map<std::string, Function> &Env) {
+  std::vector<std::string> Order;
+  std::set<std::string> Visited, OnStack;
+  topoVisit(Output.name(), Env, &Visited, &OnStack, &Order);
+  return Order;
+}
+
+std::vector<std::string> halide::inputImages(const Function &Output) {
+  std::map<std::string, Function> Env = buildEnvironment(Output);
+  std::set<std::string> Images;
+  for (const auto &[Name, F] : Env) {
+    CallCollector Collector;
+    collectFromFunction(F, &Collector);
+    Images.insert(Collector.ImageCalls.begin(), Collector.ImageCalls.end());
+  }
+  return std::vector<std::string>(Images.begin(), Images.end());
+}
+
+int halide::countStencils(const Function &Output) {
+  std::map<std::string, Function> Env = buildEnvironment(Output);
+  int Stencils = 0;
+  for (const auto &[Name, F] : Env) {
+    CallCollector Collector;
+    collectFromFunction(F, &Collector);
+    bool IsStencil = false;
+    for (const auto &[Callee, ArgSets] : Collector.CallArgs)
+      if (ArgSets.size() > 1)
+        IsStencil = true;
+    if (IsStencil)
+      ++Stencils;
+  }
+  return Stencils;
+}

@@ -1,0 +1,49 @@
+//===-- analysis/CallGraph.h - Pipeline environment & order -----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the environment of all Functions reachable from a pipeline's
+/// output and a realization order (reverse topological: producers before
+/// consumers). Lowering walks this order from the output inward (paper
+/// section 4.1); the autotuner walks it to enumerate schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_ANALYSIS_CALLGRAPH_H
+#define HALIDE_ANALYSIS_CALLGRAPH_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// All functions reachable from \p Output (including Output), keyed by name.
+std::map<std::string, Function> buildEnvironment(const Function &Output);
+
+/// Producers-before-consumers order over the environment; Output is last.
+/// Asserts the call graph is acyclic.
+std::vector<std::string> realizationOrder(
+    const Function &Output, const std::map<std::string, Function> &Env);
+
+/// Names of the Funcs (CallType::Halide) called directly by \p F's
+/// definitions (pure and updates), excluding itself.
+std::vector<std::string> directCallees(const Function &F);
+
+/// Names of input images (CallType::Image) referenced anywhere in the
+/// pipeline rooted at \p Output.
+std::vector<std::string> inputImages(const Function &Output);
+
+/// Counts the stencil stages of a pipeline: stages that read a neighborhood
+/// (more than one distinct point) of at least one producer. Reproduces the
+/// "# stencils" column of the paper's Figure 6.
+int countStencils(const Function &Output);
+
+} // namespace halide
+
+#endif // HALIDE_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,80 @@
+//===-- analysis/Scope.h - Lexically scoped symbol tables -------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stack-of-bindings symbol table keyed by variable name, used by every
+/// pass that walks under Let/LetStmt/For nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_ANALYSIS_SCOPE_H
+#define HALIDE_ANALYSIS_SCOPE_H
+
+#include "support/Util.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// A map from names to stacks of values of type T; inner bindings shadow
+/// outer ones.
+template <typename T> class Scope {
+public:
+  bool contains(const std::string &Name) const {
+    auto It = Table.find(Name);
+    return It != Table.end() && !It->second.empty();
+  }
+
+  const T &get(const std::string &Name) const {
+    auto It = Table.find(Name);
+    internal_assert(It != Table.end() && !It->second.empty())
+        << "Scope::get of unbound name " << Name;
+    return It->second.back();
+  }
+
+  void push(const std::string &Name, T Value) {
+    Table[Name].push_back(std::move(Value));
+  }
+
+  void pop(const std::string &Name) {
+    auto It = Table.find(Name);
+    internal_assert(It != Table.end() && !It->second.empty())
+        << "Scope::pop of unbound name " << Name;
+    It->second.pop_back();
+  }
+
+  bool empty() const {
+    for (const auto &Entry : Table)
+      if (!Entry.second.empty())
+        return false;
+    return true;
+  }
+
+private:
+  std::map<std::string, std::vector<T>> Table;
+};
+
+/// RAII helper that pushes a binding for the lifetime of a block.
+template <typename T> class ScopedBinding {
+public:
+  ScopedBinding(Scope<T> &S, const std::string &Name, T Value)
+      : TheScope(&S), Name(Name) {
+    TheScope->push(Name, std::move(Value));
+  }
+  ScopedBinding(const ScopedBinding &) = delete;
+  ScopedBinding &operator=(const ScopedBinding &) = delete;
+  ~ScopedBinding() { TheScope->pop(Name); }
+
+private:
+  Scope<T> *TheScope;
+  std::string Name;
+};
+
+} // namespace halide
+
+#endif // HALIDE_ANALYSIS_SCOPE_H

@@ -1,0 +1,38 @@
+//===-- apps/AppRegistry.cpp - Registry of the paper's apps --------------------===//
+
+#include "apps/Apps.h"
+#include "apps/baselines/Baselines.h"
+
+using namespace halide;
+
+std::vector<App> halide::paperApps(int LocalLaplacianLevels) {
+  std::vector<App> Apps;
+  Apps.push_back(makeBlurApp());
+  Apps.push_back(makeBilateralGridApp());
+  Apps.push_back(makeCameraPipeApp());
+  Apps.push_back(makeInterpolateApp());
+  Apps.push_back(makeLocalLaplacianApp(LocalLaplacianLevels));
+
+  // Wire baseline hooks not set by the individual factories.
+  for (App &A : Apps) {
+    if (A.Name == "bilateral_grid") {
+      A.NaiveBaselineMs = baselines::bilateralGridNaiveMs;
+      A.ExpertBaselineMs = baselines::bilateralGridExpertMs;
+    } else if (A.Name == "camera_pipe") {
+      A.NaiveBaselineMs = baselines::cameraPipeNaiveMs;
+      A.ExpertBaselineMs = baselines::cameraPipeExpertMs;
+    } else if (A.Name == "interpolate") {
+      A.NaiveBaselineMs = baselines::interpolateNaiveMs;
+      A.ExpertBaselineMs = baselines::interpolateExpertMs;
+    } else if (A.Name == "local_laplacian") {
+      int J = LocalLaplacianLevels;
+      A.NaiveBaselineMs = [J](int W, int H) {
+        return baselines::localLaplacianNaiveMs(W, H, J, 8);
+      };
+      A.ExpertBaselineMs = [J](int W, int H) {
+        return baselines::localLaplacianExpertMs(W, H, J, 8);
+      };
+    }
+  }
+  return Apps;
+}

@@ -1,0 +1,151 @@
+//===-- apps/BilateralGrid.cpp - Bilateral grid [Chen et al. 2007] -----------===//
+//
+// The paper's bilateral-grid app (section 6): scatter the image into a
+// coarse 4-D grid (x, y, intensity z, homogeneous channel c), building a
+// windowed histogram in each grid column; blur the grid along each axis
+// with a 5-point stencil; then slice the output by trilinear interpolation
+// at data-dependent grid coordinates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+using namespace halide;
+
+namespace {
+constexpr int SSigma = 8;      // spatial grid cell size
+constexpr float RSigma = 0.125f; // range bin size (8 intensity bins)
+constexpr int ZBins = 10;      // ceil(1/RSigma) + padding for blur taps
+} // namespace
+
+App halide::makeBilateralGridApp() {
+  App A;
+  A.Name = "bilateral_grid";
+  ImageParam In(Float(32), 2, "bg_input");
+  A.Inputs = {In};
+
+  Var x("x"), y("y"), z("z"), c("c");
+
+  // Clamped input.
+  Func Input("bg_clamped");
+  Input(x, y) = In(clamp(x, 0, In.width() - 1), clamp(y, 0, In.height() - 1));
+
+  // Grid construction: a scattering reduction over each s_sigma x s_sigma
+  // tile (paper: "effectively building a windowed histogram in each column
+  // of the grid").
+  RDom R(0, SSigma, 0, SSigma, "bgr");
+  Func Grid("bg_grid");
+  Expr Val = Input(x * SSigma + R.x, y * SSigma + R.y);
+  Val = clamp(Val, 0.0f, 1.0f);
+  Expr Zi = cast(Int(32), Val * (1.0f / RSigma) + 0.5f);
+  Grid(x, y, z, c) = 0.0f;
+  Grid(x, y, clamp(Zi, 0, ZBins - 1), c) += select(c == 0, Val, 1.0f);
+  Grid.bound(c, 0, 2).bound(z, 0, ZBins);
+
+  // Blur the grid along each axis with the 5-point [1 2 4 2 1] stencil.
+  auto blur5 = [&](Func F, const char *Name, int Axis) {
+    Func B(Name);
+    auto At = [&](int Offset) {
+      Expr Xs = Axis == 0 ? Expr(x + Offset) : Expr(x);
+      Expr Ys = Axis == 1 ? Expr(y + Offset) : Expr(y);
+      Expr Zs = Axis == 2 ? Expr(clamp(z + Offset, 0, ZBins - 1)) : Expr(z);
+      return F(Xs, Ys, Zs, c);
+    };
+    B(x, y, z, c) = At(-2) + At(-1) * 2.0f + At(0) * 4.0f + At(1) * 2.0f +
+                    At(2);
+    B.bound(c, 0, 2).bound(z, 0, ZBins);
+    return B;
+  };
+  Func Blurz = blur5(Grid, "bg_blurz", 2);
+  Func Blurx = blur5(Blurz, "bg_blurx", 0);
+  Func Blury = blur5(Blurx, "bg_blury", 1);
+
+  // Slicing: trilinear interpolation at data-dependent coordinates (the
+  // paper's data-dependent gather).
+  Func Interp("bg_interp");
+  {
+    Expr V = clamp(Input(x, y), 0.0f, 1.0f);
+    Expr Zv = V * (1.0f / RSigma);
+    Expr Zint = clamp(cast(Int(32), Zv), 0, ZBins - 2);
+    Expr Zf = Zv - cast(Float(32), Zint);
+    Expr Xf = cast(Float(32), x % SSigma) / float(SSigma);
+    Expr Yf = cast(Float(32), y % SSigma) / float(SSigma);
+    Expr Xi = x / SSigma;
+    Expr Yi = y / SSigma;
+    auto G = [&](Expr GX, Expr GY, Expr GZ) { return Blury(GX, GY, GZ, c); };
+    Expr L = lerp(lerp(lerp(G(Xi, Yi, Zint), G(Xi + 1, Yi, Zint), Xf),
+                       lerp(G(Xi, Yi + 1, Zint), G(Xi + 1, Yi + 1, Zint),
+                            Xf),
+                       Yf),
+                  lerp(lerp(G(Xi, Yi, Zint + 1), G(Xi + 1, Yi, Zint + 1),
+                            Xf),
+                       lerp(G(Xi, Yi + 1, Zint + 1),
+                            G(Xi + 1, Yi + 1, Zint + 1), Xf),
+                       Yf),
+                  Zf);
+    Interp(x, y, c) = L;
+    Interp.bound(c, 0, 2);
+  }
+
+  // Normalize by the homogeneous coordinate.
+  Func Out("bilateral_grid");
+  Out(x, y) = Interp(x, y, 0) / max(Interp(x, y, 1), 1e-6f);
+  A.Output = Out;
+
+  std::vector<Function> Fns = {Input.function(),  Grid.function(),
+                               Blurz.function(),  Blurx.function(),
+                               Blury.function(),  Interp.function(),
+                               Out.function()};
+  auto Reset = [Fns]() mutable {
+    for (Function &F : Fns)
+      F.resetSchedule();
+  };
+  A.ScheduleBreadthFirst = [Reset, Input, Grid, Blurz, Blurx, Blury,
+                            Interp]() mutable {
+    Reset();
+    Input.computeRoot();
+    Grid.computeRoot();
+    Blurz.computeRoot();
+    Blurx.computeRoot();
+    Blury.computeRoot();
+    Interp.computeRoot();
+  };
+  A.ScheduleTuned = [Reset, Grid, Blurz, Blurx, Blury, Out]() mutable {
+    Reset();
+    Var x("x"), y("y"), z("z");
+    // Grid stages at root (they are coarse); blur stages fused per z-slab,
+    // output vectorized and parallel over scanlines — the shape of the
+    // paper's tuned CPU schedule (parallel grain control + fusion of the
+    // blur chain).
+    Grid.computeRoot();
+    Blurz.computeRoot().parallel(z);
+    Blurx.computeAt(Blury, y);
+    Blury.computeRoot().parallel(z);
+    Out.vectorize(x, 8).parallel(y);
+  };
+  A.ScheduleGpu = [Reset, Grid, Blurz, Blurx, Blury, Out]() mutable {
+    Reset();
+    Var x("x"), y("y"), bx("bx"), by("by"), tx("tx"), ty("ty");
+    Grid.computeRoot();
+    Blurz.computeRoot();
+    Blurx.computeAt(Blury, Var("y"));
+    Blury.computeRoot();
+    Out.gpuTile(x, y, bx, by, tx, ty, 16, 16);
+  };
+
+  A.MakeInputs = [In](int W, int H) {
+    Buffer<float> Input(W, H);
+    Input.fill([](int X, int Y) {
+      return 0.5f + 0.5f * float(((X / 3 + Y / 5) % 17)) / 17.0f - 0.25f;
+    });
+    ParamBindings P;
+    P.bind(In.name(), Input);
+    return P;
+  };
+  A.PaperHalideLines = 34;
+  A.PaperExpertLines = 122;
+  A.PaperHalideMs = 36;
+  A.PaperExpertMs = 158;
+  A.ReproLines = 42;
+  return A;
+}

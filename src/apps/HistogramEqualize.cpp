@@ -1,0 +1,74 @@
+//===-- apps/HistogramEqualize.cpp - Section 2's reduction example -----------===//
+//
+// The histogram-equalization pipeline from paper section 2: a scattering
+// reduction builds a histogram, a recursive scan integrates it into a CDF,
+// and a point-wise operation remaps the input through the CDF — combining
+// reductions with a data-dependent gather.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+using namespace halide;
+
+App halide::makeHistogramEqualizeApp() {
+  App A;
+  A.Name = "histeq";
+  ImageParam In(UInt(8), 2, "histeq_input");
+  A.Inputs = {In};
+
+  Var x("x"), y("y"), i("i");
+  Func Histogram("histogram"), Cdf("cdf"), Out("histeq");
+
+  RDom R(0, In.width(), 0, In.height(), "himg");
+  Histogram(i) = cast(UInt(32), 0);
+  Histogram(clamp(cast(Int(32), In(R.x, R.y)), 0, 255)) +=
+      cast(UInt(32), 1);
+  Histogram.bound(i, 0, 256);
+
+  RDom Ri(1, 255, "hscan");
+  Cdf(i) = cast(UInt(32), 0);
+  Cdf(0) = Histogram(0);
+  Cdf(Ri) = Cdf(Expr(Ri) - 1) + Histogram(Ri);
+  Cdf.bound(i, 0, 256);
+
+  Expr Total = cast(Float(32), In.width() * In.height());
+  Expr Remapped =
+      cast(Float(32), Cdf(clamp(cast(Int(32), In(clamp(x, 0, In.width() - 1),
+                                                 clamp(y, 0, In.height() - 1))),
+                                0, 255))) /
+      Total * 255.0f;
+  Out(x, y) = cast(UInt(8), clamp(Remapped, 0.0f, 255.0f));
+  A.Output = Out;
+
+  Function OutFn = Out.function(), HistFn = Histogram.function(),
+           CdfFn = Cdf.function();
+  auto Reset = [OutFn, HistFn, CdfFn]() mutable {
+    OutFn.resetSchedule();
+    HistFn.resetSchedule();
+    CdfFn.resetSchedule();
+  };
+  A.ScheduleBreadthFirst = [Reset, Histogram, Cdf]() mutable {
+    Reset();
+    Histogram.computeRoot();
+    Cdf.computeRoot();
+  };
+  A.ScheduleTuned = [Reset, Histogram, Cdf, Out]() mutable {
+    Reset();
+    Var x("x"), y("y");
+    Histogram.computeRoot();
+    Cdf.computeRoot();
+    Out.vectorize(x, 8).parallel(y);
+  };
+
+  A.MakeInputs = [In](int W, int H) {
+    Buffer<uint8_t> Input(W, H);
+    // A low-contrast ramp so equalization has something to do.
+    Input.fill([W](int X, int Y) { return 64 + ((X + Y * 3) % W) % 96; });
+    ParamBindings P;
+    P.bind(In.name(), Input);
+    return P;
+  };
+  A.ReproLines = 14;
+  return A;
+}

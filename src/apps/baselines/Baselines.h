@@ -1,0 +1,56 @@
+//===-- apps/baselines/Baselines.h - Expert C++ comparators -----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written C++ implementations standing in for the paper's expert
+/// references (DESIGN.md substitution 3). For each app there is a "naive"
+/// version (clean breadth-first C++, the style of the paper's unoptimized
+/// references) and an "expert" version (hand-tiled/fused with attention to
+/// locality). Each entry point generates its own synthetic input — matching
+/// the Halide apps' generators — runs the algorithm, and returns the median
+/// wall time in milliseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_APPS_BASELINES_BASELINES_H
+#define HALIDE_APPS_BASELINES_BASELINES_H
+
+#include "runtime/Buffer.h"
+
+#include <functional>
+
+namespace halide {
+namespace baselines {
+
+/// Median wall time (ms) of \p Iters invocations of \p Work.
+double timeMs(const std::function<void()> &Work, int Iters = 3);
+
+// Two-stage 3x3 blur (paper section 3.1).
+double blurNaiveMs(int W, int H);
+double blurExpertMs(int W, int H);
+/// Reference blur used by correctness tests: writes the expected output.
+void blurReference(const Buffer<uint8_t> &In, Buffer<uint8_t> &Out);
+
+// Bilateral grid (paper section 6, [Chen et al. 2007]).
+double bilateralGridNaiveMs(int W, int H);
+double bilateralGridExpertMs(int W, int H);
+
+// Camera pipeline (demosaic + color correct + gamma curve).
+double cameraPipeNaiveMs(int W, int H);
+double cameraPipeExpertMs(int W, int H);
+
+// Multi-scale interpolation over an image pyramid.
+double interpolateNaiveMs(int W, int H);
+double interpolateExpertMs(int W, int H);
+
+// Local Laplacian filters.
+double localLaplacianNaiveMs(int W, int H, int Levels, int K);
+double localLaplacianExpertMs(int W, int H, int Levels, int K);
+
+} // namespace baselines
+} // namespace halide
+
+#endif // HALIDE_APPS_BASELINES_BASELINES_H

@@ -1,0 +1,121 @@
+//===-- apps/baselines/BlurBaseline.cpp - Hand-written blur --------------------===//
+
+#include "apps/baselines/Baselines.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+using namespace halide;
+using namespace halide::baselines;
+
+double halide::baselines::timeMs(const std::function<void()> &Work,
+                                 int Iters) {
+  Work(); // warm-up
+  std::vector<double> Times;
+  for (int I = 0; I < Iters; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    Work();
+    auto End = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::milli>(End - Start).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+namespace {
+
+std::vector<uint8_t> makeInput(int W, int H) {
+  std::vector<uint8_t> In(size_t(W) * H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      In[size_t(Y) * W + X] = uint8_t((X * 23 + Y * 7) % 256);
+  return In;
+}
+
+inline int clampi(int V, int Lo, int Hi) {
+  return V < Lo ? Lo : (V > Hi ? Hi : V);
+}
+
+/// Breadth-first: compute all of blurx, then all of the output — the
+/// paper's "most common strategy in hand-written pipelines".
+void blurNaive(const uint8_t *In, uint8_t *Out, int W, int H) {
+  std::vector<uint16_t> Blurx(size_t(W) * (H + 2));
+  for (int Y = -1; Y <= H; ++Y) {
+    int Yc = clampi(Y, 0, H - 1);
+    for (int X = 0; X < W; ++X) {
+      int Xl = clampi(X - 1, 0, W - 1), Xr = clampi(X + 1, 0, W - 1);
+      Blurx[size_t(Y + 1) * W + X] =
+          uint16_t((In[size_t(Yc) * W + Xl] + In[size_t(Yc) * W + X] +
+                    In[size_t(Yc) * W + Xr]) /
+                   3);
+    }
+  }
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int S = Blurx[size_t(Y) * W + X] + Blurx[size_t(Y + 1) * W + X] +
+              Blurx[size_t(Y + 2) * W + X];
+      Out[size_t(Y) * W + X] = uint8_t(S / 3);
+    }
+}
+
+/// Expert: strips of scanlines with a 3-row circular blurx window — the
+/// paper's fastest CPU strategy, hand-written.
+void blurExpert(const uint8_t *In, uint8_t *Out, int W, int H) {
+  constexpr int Strip = 8;
+  std::vector<uint16_t> Window(size_t(3) * W);
+  for (int Ty = 0; Ty < H; Ty += Strip) {
+    int Y1 = std::min(Ty + Strip, H);
+    for (int Y = Ty - 2; Y < Y1; ++Y) {
+      // Produce blurx row y+1 into the circular window.
+      int Py = Y + 1;
+      int Yc = clampi(Py, 0, H - 1);
+      uint16_t *Row = &Window[size_t((Py % 3 + 3) % 3) * W];
+      for (int X = 0; X < W; ++X) {
+        int Xl = clampi(X - 1, 0, W - 1), Xr = clampi(X + 1, 0, W - 1);
+        Row[X] = uint16_t((In[size_t(Yc) * W + Xl] + In[size_t(Yc) * W + X] +
+                           In[size_t(Yc) * W + Xr]) /
+                          3);
+      }
+      if (Y < Ty)
+        continue;
+      const uint16_t *R0 = &Window[size_t(((Y - 1) % 3 + 3) % 3) * W];
+      const uint16_t *R1 = &Window[size_t((Y % 3 + 3) % 3) * W];
+      const uint16_t *R2 = &Window[size_t(((Y + 1) % 3 + 3) % 3) * W];
+      uint8_t *OutRow = &Out[size_t(Y) * W];
+      for (int X = 0; X < W; ++X)
+        OutRow[X] = uint8_t((R0[X] + R1[X] + R2[X]) / 3);
+    }
+  }
+}
+
+} // namespace
+
+double halide::baselines::blurNaiveMs(int W, int H) {
+  std::vector<uint8_t> In = makeInput(W, H);
+  std::vector<uint8_t> Out(size_t(W) * H);
+  return timeMs([&] { blurNaive(In.data(), Out.data(), W, H); });
+}
+
+double halide::baselines::blurExpertMs(int W, int H) {
+  std::vector<uint8_t> In = makeInput(W, H);
+  std::vector<uint8_t> Out(size_t(W) * H);
+  return timeMs([&] { blurExpert(In.data(), Out.data(), W, H); });
+}
+
+void halide::baselines::blurReference(const Buffer<uint8_t> &In,
+                                      Buffer<uint8_t> &Out) {
+  int W = In.width(), H = In.height();
+  auto BlurxAt = [&](int X, int Y) {
+    int Yc = clampi(Y, 0, H - 1);
+    int Xl = clampi(X - 1, 0, W - 1), Xr = clampi(X + 1, 0, W - 1);
+    return (In(Xl, Yc) + In(clampi(X, 0, W - 1), Yc) + In(Xr, Yc)) / 3;
+  };
+  for (int Y = 0; Y < Out.height(); ++Y)
+    for (int X = 0; X < Out.width(); ++X) {
+      int Yo = Out.minCoord(1) + Y, Xo = Out.minCoord(0) + X;
+      int S = BlurxAt(Xo, Yo - 1) + BlurxAt(Xo, Yo) + BlurxAt(Xo, Yo + 1);
+      Out(Xo, Yo) = uint8_t((S / 3) & 0xff);
+    }
+}

@@ -1,0 +1,158 @@
+//===-- apps/baselines/CameraPipeBaseline.cpp ----------------------------------===//
+//
+// Hand-written camera pipeline. Naive: each stage materialized at full
+// size (Frankencamera-style staging through scratch buffers, but without
+// the tiling). Expert: single fused pass over output scanline strips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/baselines/Baselines.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+inline int clampi(int V, int Lo, int Hi) {
+  return V < Lo ? Lo : (V > Hi ? Hi : V);
+}
+
+std::vector<uint16_t> makeRaw(int W, int H) {
+  std::vector<uint16_t> Raw(size_t(W) * H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int Site = (X % 2) + 2 * (Y % 2);
+      int Base = (X * 37 + Y * 91) % 32768;
+      Raw[size_t(Y) * W + X] =
+          uint16_t(Site == 0 || Site == 3 ? Base + 16384 : Base + 8192);
+    }
+  return Raw;
+}
+
+std::vector<uint8_t> makeCurve() {
+  std::vector<uint8_t> Curve(1024);
+  for (int I = 0; I < 1024; ++I) {
+    float V = float(I) / 1023.0f;
+    float G = std::pow(V, 1.0f / 1.8f);
+    float SC = G * G * (3.0f - 2.0f * G);
+    float R = SC * 255.0f;
+    Curve[size_t(I)] = uint8_t(R < 0 ? 0 : (R > 255 ? 255 : R));
+  }
+  return Curve;
+}
+
+struct HalfPlanes {
+  int HW, HH;
+  std::vector<float> Gr, R, B, Gb;
+};
+
+void deinterleave(const std::vector<uint16_t> &Raw, int W, int H,
+                  HalfPlanes &P) {
+  P.HW = W / 2;
+  P.HH = H / 2;
+  size_t N = size_t(P.HW) * P.HH;
+  P.Gr.resize(N);
+  P.R.resize(N);
+  P.B.resize(N);
+  P.Gb.resize(N);
+  auto At = [&](int X, int Y) {
+    return float(Raw[size_t(clampi(Y, 0, H - 1)) * W +
+                     clampi(X, 0, W - 1)]) /
+           65535.0f;
+  };
+  for (int Y = 0; Y < P.HH; ++Y)
+    for (int X = 0; X < P.HW; ++X) {
+      size_t I = size_t(Y) * P.HW + X;
+      P.Gr[I] = At(2 * X, 2 * Y);
+      P.R[I] = At(2 * X + 1, 2 * Y);
+      P.B[I] = At(2 * X, 2 * Y + 1);
+      P.Gb[I] = At(2 * X + 1, 2 * Y + 1);
+    }
+}
+
+struct PlaneView {
+  const std::vector<float> *Data;
+  int W, H;
+  float at(int X, int Y) const {
+    return (*Data)[size_t(clampi(Y, 0, H - 1)) * W + clampi(X, 0, W - 1)];
+  }
+};
+
+void demosaicAndFinish(const HalfPlanes &P, const std::vector<uint8_t> &Curve,
+                       uint8_t *Out, int W, int H, int Y0, int Y1) {
+  PlaneView Gr{&P.Gr, P.HW, P.HH}, R{&P.R, P.HW, P.HH}, B{&P.B, P.HW, P.HH},
+      Gb{&P.Gb, P.HW, P.HH};
+  for (int Y = Y0; Y < Y1; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int Hx = X / 2, Hy = Y / 2;
+      bool Right = X % 2, Bottom = Y % 2;
+      float RV, GV, BV;
+      if (!Right && !Bottom) {
+        RV = (R.at(Hx, Hy) + R.at(Hx - 1, Hy)) * 0.5f;
+        GV = Gr.at(Hx, Hy);
+        BV = (B.at(Hx, Hy) + B.at(Hx, Hy - 1)) * 0.5f;
+      } else if (Right && !Bottom) {
+        RV = R.at(Hx, Hy);
+        GV = (Gr.at(Hx, Hy) + Gr.at(Hx + 1, Hy) + Gb.at(Hx, Hy) +
+              Gb.at(Hx, Hy - 1)) *
+             0.25f;
+        BV = (B.at(Hx, Hy) + B.at(Hx + 1, Hy) + B.at(Hx, Hy - 1) +
+              B.at(Hx + 1, Hy - 1)) *
+             0.25f;
+      } else if (!Right && Bottom) {
+        RV = (R.at(Hx, Hy) + R.at(Hx - 1, Hy) + R.at(Hx, Hy + 1) +
+              R.at(Hx - 1, Hy + 1)) *
+             0.25f;
+        GV = (Gr.at(Hx, Hy) + Gr.at(Hx, Hy + 1) + Gb.at(Hx, Hy) +
+              Gb.at(Hx - 1, Hy)) *
+             0.25f;
+        BV = B.at(Hx, Hy);
+      } else {
+        RV = (R.at(Hx, Hy) + R.at(Hx - 1, Hy)) * 0.5f;
+        GV = Gb.at(Hx, Hy);
+        BV = (B.at(Hx, Hy) + B.at(Hx, Hy - 1)) * 0.5f;
+      }
+      float RC = 1.6f * RV - 0.4f * GV - 0.2f * BV;
+      float GC = -0.2f * RV + 1.5f * GV - 0.3f * BV;
+      float BC = -0.1f * RV - 0.4f * GV + 1.5f * BV;
+      auto Apply = [&](float V) {
+        int I = clampi(int(V * 1023.0f), 0, 1023);
+        return Curve[size_t(I)];
+      };
+      size_t O = (size_t(Y) * W + X) * 3;
+      Out[O + 0] = Apply(RC);
+      Out[O + 1] = Apply(GC);
+      Out[O + 2] = Apply(BC);
+    }
+}
+
+} // namespace
+
+double halide::baselines::cameraPipeNaiveMs(int W, int H) {
+  std::vector<uint16_t> Raw = makeRaw(W, H);
+  std::vector<uint8_t> Curve = makeCurve();
+  std::vector<uint8_t> Out(size_t(W) * H * 3);
+  return timeMs([&] {
+    // Stage everything at full size first (breadth-first).
+    HalfPlanes P;
+    deinterleave(Raw, W, H, P);
+    demosaicAndFinish(P, Curve, Out.data(), W, H, 0, H);
+  });
+}
+
+double halide::baselines::cameraPipeExpertMs(int W, int H) {
+  std::vector<uint16_t> Raw = makeRaw(W, H);
+  std::vector<uint8_t> Curve = makeCurve();
+  std::vector<uint8_t> Out(size_t(W) * H * 3);
+  // Deinterleave once; then process output in strips for locality.
+  return timeMs([&] {
+    HalfPlanes P;
+    deinterleave(Raw, W, H, P);
+    constexpr int Strip = 16;
+    for (int Y0 = 0; Y0 < H; Y0 += Strip)
+      demosaicAndFinish(P, Curve, Out.data(), W, H, Y0,
+                        std::min(Y0 + Strip, H));
+  });
+}

@@ -1,0 +1,173 @@
+//===-- apps/baselines/InterpolateBaseline.cpp ----------------------------------===//
+//
+// Hand-written multi-scale interpolation. Naive: every pyramid level
+// materialized with separate x/y resampling passes. Expert: x-passes fused
+// into y-passes per scanline (small row buffers), halving traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/baselines/Baselines.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+constexpr int Levels = 6;
+constexpr int C4 = 4;
+
+struct Image {
+  int W = 0, H = 0;
+  std::vector<float> Data;
+  void alloc(int Width, int Height) {
+    W = Width;
+    H = Height;
+    Data.assign(size_t(W) * H * C4, 0.0f);
+  }
+  float &at(int X, int Y, int C) {
+    X = std::clamp(X, 0, W - 1);
+    Y = std::clamp(Y, 0, H - 1);
+    return Data[(size_t(Y) * W + X) * C4 + C];
+  }
+  float get(int X, int Y, int C) const {
+    X = std::clamp(X, 0, W - 1);
+    Y = std::clamp(Y, 0, H - 1);
+    return Data[(size_t(Y) * W + X) * C4 + C];
+  }
+};
+
+Image makeInput(int W, int H) {
+  Image In;
+  In.alloc(W, H);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      for (int C = 0; C < C4; ++C) {
+        float V = C == 3 ? (((X % 7 == 0) && (Y % 5 == 0)) ? 1.0f : 0.02f)
+                         : float((X * (C + 1) + Y) % 64) / 64.0f;
+        In.at(X, Y, C) = V;
+      }
+  return In;
+}
+
+void premultiply(const Image &In, Image &Out) {
+  Out.alloc(In.W, In.H);
+  for (int Y = 0; Y < In.H; ++Y)
+    for (int X = 0; X < In.W; ++X) {
+      float Alpha = In.get(X, Y, 3);
+      for (int C = 0; C < 3; ++C)
+        Out.at(X, Y, C) = In.get(X, Y, C) * Alpha;
+      Out.at(X, Y, 3) = Alpha;
+    }
+}
+
+/// [1 3 3 1]/8 in x then y, decimating by 2, with (naive) a full-size
+/// intermediate or (fused) a per-output-row pass.
+void downsampleNaive(const Image &In, Image &Out) {
+  Image Tmp;
+  Tmp.alloc(In.W / 2 + 1, In.H);
+  for (int Y = 0; Y < Tmp.H; ++Y)
+    for (int X = 0; X < Tmp.W; ++X)
+      for (int C = 0; C < C4; ++C)
+        Tmp.at(X, Y, C) = (In.get(2 * X - 1, Y, C) +
+                           3 * (In.get(2 * X, Y, C) +
+                                In.get(2 * X + 1, Y, C)) +
+                           In.get(2 * X + 2, Y, C)) /
+                          8.0f;
+  Out.alloc(In.W / 2 + 1, In.H / 2 + 1);
+  for (int Y = 0; Y < Out.H; ++Y)
+    for (int X = 0; X < Out.W; ++X)
+      for (int C = 0; C < C4; ++C)
+        Out.at(X, Y, C) = (Tmp.get(X, 2 * Y - 1, C) +
+                           3 * (Tmp.get(X, 2 * Y, C) +
+                                Tmp.get(X, 2 * Y + 1, C)) +
+                           Tmp.get(X, 2 * Y + 2, C)) /
+                          8.0f;
+}
+
+void downsampleFused(const Image &In, Image &Out) {
+  Out.alloc(In.W / 2 + 1, In.H / 2 + 1);
+  std::vector<float> Rows(size_t(4) * Out.W * C4);
+  auto RowPtr = [&](int Y) { return &Rows[size_t((Y % 4 + 4) % 4) * Out.W * C4]; };
+  auto ComputeRow = [&](int Y) {
+    float *Row = RowPtr(Y);
+    for (int X = 0; X < Out.W; ++X)
+      for (int C = 0; C < C4; ++C)
+        Row[size_t(X) * C4 + C] = (In.get(2 * X - 1, Y, C) +
+                                   3 * (In.get(2 * X, Y, C) +
+                                        In.get(2 * X + 1, Y, C)) +
+                                   In.get(2 * X + 2, Y, C)) /
+                                  8.0f;
+  };
+  ComputeRow(-1);
+  ComputeRow(0);
+  ComputeRow(1);
+  for (int Y = 0; Y < Out.H; ++Y) {
+    ComputeRow(2 * Y + 2);
+    const float *Rm = RowPtr(2 * Y - 1), *R0 = RowPtr(2 * Y),
+                *R1 = RowPtr(2 * Y + 1), *R2 = RowPtr(2 * Y + 2);
+    for (int X = 0; X < Out.W; ++X)
+      for (int C = 0; C < C4; ++C)
+        Out.at(X, Y, C) = (Rm[size_t(X) * C4 + C] +
+                           3 * (R0[size_t(X) * C4 + C] +
+                                R1[size_t(X) * C4 + C]) +
+                           R2[size_t(X) * C4 + C]) /
+                          8.0f;
+  }
+}
+
+void interpolateUp(const Image &Down, const Image &Coarse, Image &Out) {
+  Out.alloc(Down.W, Down.H);
+  auto Up = [&](int X, int Y, int C) {
+    float Ux0 = 0.25f * Coarse.get((X / 2) - 1 + 2 * (X % 2), Y / 2, C) +
+                0.75f * Coarse.get(X / 2, Y / 2, C);
+    float Ux1 =
+        0.25f * Coarse.get((X / 2) - 1 + 2 * (X % 2),
+                           (Y / 2) - 1 + 2 * (Y % 2), C) +
+        0.75f * Coarse.get(X / 2, (Y / 2) - 1 + 2 * (Y % 2), C);
+    return 0.75f * Ux0 + 0.25f * Ux1;
+  };
+  for (int Y = 0; Y < Out.H; ++Y)
+    for (int X = 0; X < Out.W; ++X) {
+      float A = Down.get(X, Y, 3);
+      for (int C = 0; C < C4; ++C)
+        Out.at(X, Y, C) = Down.get(X, Y, C) + (1.0f - A) * Up(X, Y, C);
+    }
+}
+
+void runPyramid(const Image &In, Image &Final, bool Fused) {
+  Image Down[Levels];
+  premultiply(In, Down[0]);
+  for (int L = 1; L < Levels; ++L) {
+    if (Fused)
+      downsampleFused(Down[L - 1], Down[L]);
+    else
+      downsampleNaive(Down[L - 1], Down[L]);
+  }
+  Image Interp[Levels];
+  Interp[Levels - 1] = Down[Levels - 1];
+  for (int L = Levels - 2; L >= 0; --L)
+    interpolateUp(Down[L], Interp[L + 1], Interp[L]);
+  Final.alloc(In.W, In.H);
+  for (int Y = 0; Y < In.H; ++Y)
+    for (int X = 0; X < In.W; ++X) {
+      float A = std::max(Interp[0].get(X, Y, 3), 1e-6f);
+      for (int C = 0; C < 3; ++C)
+        Final.at(X, Y, C) = Interp[0].get(X, Y, C) / A;
+    }
+}
+
+} // namespace
+
+double halide::baselines::interpolateNaiveMs(int W, int H) {
+  Image In = makeInput(W, H);
+  Image Out;
+  return timeMs([&] { runPyramid(In, Out, /*Fused=*/false); });
+}
+
+double halide::baselines::interpolateExpertMs(int W, int H) {
+  Image In = makeInput(W, H);
+  Image Out;
+  return timeMs([&] { runPyramid(In, Out, /*Fused=*/true); });
+}

@@ -1,0 +1,133 @@
+//===-- autotune/Autotuner.cpp ----------------------------------------------------=//
+
+#include "autotune/Autotuner.h"
+#include "codegen/Jit.h"
+#include "metrics/ScheduleMetrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace halide;
+
+namespace {
+
+struct Individual {
+  Genome G;
+  double Ms = -1.0; // fitness; < 0 means unevaluated
+};
+
+/// Byte-compares two identically shaped raw buffers.
+bool sameBytes(const RawBuffer &A, const RawBuffer &B) {
+  int64_t Bytes = A.numElements() * A.ElemType.bytes();
+  return std::memcmp(A.Host, B.Host, size_t(Bytes)) == 0;
+}
+
+} // namespace
+
+TuneResult halide::autotune(Func Output, const ParamBindings &Inputs,
+                            RawBuffer OutBuf, const TuneOptions &Opts) {
+  ScheduleSpace Space(Output.function());
+  std::mt19937 Rng(Opts.Seed);
+  TuneResult Result;
+
+  ParamBindings Params = Inputs;
+  Params.bind(Output.name(), OutBuf);
+
+  // Reference output for candidate verification.
+  std::vector<uint8_t> Reference;
+  {
+    Genome BF = Space.breadthFirstGenome();
+    Space.apply(BF);
+    CompiledPipeline CP = jitCompile(lower(Output.function()));
+    CP.run(Params);
+    int64_t Bytes = OutBuf.numElements() * OutBuf.ElemType.bytes();
+    Reference.assign(static_cast<uint8_t *>(OutBuf.Host),
+                     static_cast<uint8_t *>(OutBuf.Host) + Bytes);
+  }
+
+  auto Evaluate = [&](Individual &Ind) {
+    if (Ind.Ms >= 0)
+      return;
+    Space.apply(Ind.G);
+    CompiledPipeline CP = jitCompile(lower(Output.function()));
+    Ind.Ms = benchmarkMs(CP, Params, Opts.BenchIters);
+    ++Result.CandidatesEvaluated;
+    if (Opts.VerifyCandidates) {
+      int64_t Bytes = OutBuf.numElements() * OutBuf.ElemType.bytes();
+      bool Same = std::memcmp(OutBuf.Host, Reference.data(),
+                              size_t(Bytes)) == 0;
+      internal_assert(Same)
+          << "autotuner: schedule produced incorrect output: "
+          << Space.describe(Ind.G);
+    }
+  };
+
+  // Initial population: half reasonable seeds, half random (paper
+  // section 5, "Search Starting Point").
+  std::vector<Individual> Population(size_t(Opts.Population));
+  Population[0].G = Space.breadthFirstGenome();
+  for (int I = 1; I < Opts.Population; ++I)
+    Population[size_t(I)].G = (I % 2 == 1) ? Space.reasonableGenome(Rng)
+                                           : Space.randomGenome(Rng);
+
+  auto Tournament = [&](const std::vector<Individual> &Pop) -> const
+      Individual & {
+        const Individual *Best = nullptr;
+        for (int I = 0; I < Opts.TournamentSize; ++I) {
+          const Individual &C = Pop[std::uniform_int_distribution<size_t>(
+              0, Pop.size() - 1)(Rng)];
+          if (!Best || C.Ms < Best->Ms)
+            Best = &C;
+        }
+        return *Best;
+      };
+
+  for (int Gen = 0; Gen < Opts.Generations; ++Gen) {
+    for (Individual &Ind : Population)
+      Evaluate(Ind);
+    std::sort(Population.begin(), Population.end(),
+              [](const Individual &A, const Individual &B) {
+                return A.Ms < B.Ms;
+              });
+    Result.BestPerGeneration.push_back(Population[0].Ms);
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[autotune] gen %d best %.3f ms: %s\n", Gen,
+                   Population[0].Ms,
+                   Space.describe(Population[0].G).c_str());
+    if (Gen + 1 == Opts.Generations)
+      break;
+
+    std::vector<Individual> Next;
+    // Elitism.
+    for (int I = 0; I < Opts.EliteCount && I < Opts.Population; ++I)
+      Next.push_back(Population[size_t(I)]);
+    int CrossCount = int(Opts.CrossoverFraction * Opts.Population);
+    int MutantCount = int(Opts.MutantFraction * Opts.Population);
+    for (int I = 0; I < CrossCount; ++I) {
+      Individual Child;
+      Child.G = Space.crossover(Tournament(Population).G,
+                                Tournament(Population).G, Rng);
+      Next.push_back(std::move(Child));
+    }
+    for (int I = 0; I < MutantCount; ++I) {
+      Individual Child = Tournament(Population);
+      Child.Ms = -1;
+      Space.mutate(Child.G, Rng);
+      Next.push_back(std::move(Child));
+    }
+    while (int(Next.size()) < Opts.Population) {
+      Individual Child;
+      Child.G = (Next.size() % 2) ? Space.reasonableGenome(Rng)
+                                  : Space.randomGenome(Rng);
+      Next.push_back(std::move(Child));
+    }
+    Population = std::move(Next);
+  }
+
+  Result.Best = Population[0].G;
+  Result.BestMs = Population[0].Ms;
+  Result.Description = Space.describe(Result.Best);
+  Space.apply(Result.Best);
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===-- autotune/Autotuner.h - Stochastic schedule search -------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The genetic-algorithm autotuner of paper section 5: fixed population,
+/// elitism, tournament-selected two-point crossover, mutation with
+/// imaging-specific rules, random immigrants, and fitness measured by
+/// compiling each candidate with the JIT backend and timing it. Candidate
+/// outputs are verified against the reference (breadth-first) schedule, the
+/// paper's sanity check that all valid schedules generate correct code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_AUTOTUNE_AUTOTUNER_H
+#define HALIDE_AUTOTUNE_AUTOTUNER_H
+
+#include "autotune/ScheduleSpace.h"
+#include "runtime/Runtime.h"
+
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// Search configuration. The defaults are scaled down from the paper's
+/// population of 128 so test and benchmark budgets stay sane; Figure-8
+/// benchmarks raise them.
+struct TuneOptions {
+  int Population = 16;
+  int Generations = 6;
+  int EliteCount = 2;
+  /// Fractions of each new generation (rest are random immigrants).
+  double CrossoverFraction = 0.4;
+  double MutantFraction = 0.4;
+  int TournamentSize = 3;
+  int BenchIters = 3;
+  uint32_t Seed = 1;
+  bool Verbose = false;
+  /// Verify every candidate's output against the reference schedule.
+  bool VerifyCandidates = true;
+};
+
+/// Search outcome.
+struct TuneResult {
+  Genome Best;
+  double BestMs = 0.0;
+  /// Best time after each generation (convergence curve, section 6.1).
+  std::vector<double> BestPerGeneration;
+  std::string Description;
+  int CandidatesEvaluated = 0;
+};
+
+/// Tunes the pipeline producing \p Output. \p Inputs must bind every input
+/// image and scalar; \p OutBuf is the output buffer candidates render into
+/// (its extents should be multiples of 64 so split output schedules remain
+/// valid). On return the best genome has been applied to the pipeline's
+/// schedules.
+TuneResult autotune(Func Output, const ParamBindings &Inputs,
+                    RawBuffer OutBuf, const TuneOptions &Opts);
+
+} // namespace halide
+
+#endif // HALIDE_AUTOTUNE_AUTOTUNER_H

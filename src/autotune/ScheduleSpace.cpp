@@ -1,0 +1,385 @@
+//===-- autotune/ScheduleSpace.cpp -----------------------------------------------=//
+
+#include "autotune/ScheduleSpace.h"
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace halide;
+
+namespace {
+
+const int TileSizes[] = {8, 16, 32, 64};
+const int VecWidths[] = {4, 8};
+
+int pickFrom(const int *Options, int N, std::mt19937 &Rng) {
+  return Options[std::uniform_int_distribution<int>(0, N - 1)(Rng)];
+}
+
+double unitRand(std::mt19937 &Rng) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(Rng);
+}
+
+} // namespace
+
+ScheduleSpace::ScheduleSpace(Function OutputFn) : Output(std::move(OutputFn)) {
+  Env = buildEnvironment(Output);
+  Order = realizationOrder(Output, Env);
+  // Invert the call graph to find stages with a unique direct consumer.
+  std::map<std::string, std::vector<std::string>> Consumers;
+  for (const auto &[Name, F] : Env)
+    for (const std::string &Callee : directCallees(F))
+      Consumers[Callee].push_back(Name);
+  for (const auto &[Name, List] : Consumers)
+    if (List.size() == 1)
+      UniqueConsumer[Name] = List[0];
+}
+
+bool ScheduleSpace::canInline(const std::string &Name) const {
+  return Name != Output.name() && !Env.at(Name).hasUpdateDefinition();
+}
+
+bool ScheduleSpace::canFuse(const std::string &Name) const {
+  auto It = UniqueConsumer.find(Name);
+  if (It == UniqueConsumer.end())
+    return false;
+  // The consumer must itself be a stage we can anchor loops on.
+  return It->second != "" && Env.at(Name).dimensions() >= 2;
+}
+
+Genome ScheduleSpace::breadthFirstGenome() const {
+  Genome G;
+  G.Genes.resize(Order.size());
+  for (FuncGene &Gene : G.Genes) {
+    Gene.Call = FuncGene::CallSchedule::Root;
+    Gene.Pattern = FuncGene::DomainPattern::Simple;
+  }
+  return G;
+}
+
+FuncGene ScheduleSpace::randomGene(const std::string &Name,
+                                   std::mt19937 &Rng) const {
+  FuncGene Gene;
+  double Roll = unitRand(Rng);
+  if (Roll < 0.25 && canInline(Name))
+    Gene.Call = FuncGene::CallSchedule::Inline;
+  else if (Roll < 0.5 && canFuse(Name))
+    Gene.Call = FuncGene::CallSchedule::FuseIntoConsumer;
+  else
+    Gene.Call = FuncGene::CallSchedule::Root;
+  switch (std::uniform_int_distribution<int>(0, 4)(Rng)) {
+  case 0:
+    Gene.Pattern = FuncGene::DomainPattern::Simple;
+    break;
+  case 1:
+    Gene.Pattern = FuncGene::DomainPattern::ParallelOuter;
+    break;
+  case 2:
+    Gene.Pattern = FuncGene::DomainPattern::ParallelYVecX;
+    break;
+  case 3:
+    Gene.Pattern = FuncGene::DomainPattern::VectorizedX;
+    break;
+  default:
+    Gene.Pattern = FuncGene::DomainPattern::TiledVectorized;
+    break;
+  }
+  Gene.TileX = pickFrom(TileSizes, 4, Rng);
+  Gene.TileY = pickFrom(TileSizes, 4, Rng);
+  Gene.VecWidth = pickFrom(VecWidths, 2, Rng);
+  Gene.SlideScanlines = unitRand(Rng) < 0.25;
+  return Gene;
+}
+
+Genome ScheduleSpace::randomGenome(std::mt19937 &Rng) const {
+  Genome G;
+  G.Genes.reserve(Order.size());
+  for (const std::string &Name : Order)
+    G.Genes.push_back(randomGene(Name, Rng));
+  return G;
+}
+
+Genome ScheduleSpace::reasonableGenome(std::mt19937 &Rng) const {
+  Genome G = breadthFirstGenome();
+  // "a weighted coin that has fixed weight from zero to one depending on
+  // the individual" (paper section 5).
+  double TileWeight = unitRand(Rng);
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const std::string &Name = Order[I];
+    FuncGene &Gene = G.Genes[I];
+    // Inline pointwise stages (footprint one).
+    if (canInline(Name) && unitRand(Rng) < 0.5) {
+      Gene.Call = FuncGene::CallSchedule::Inline;
+      continue;
+    }
+    Gene.Call = FuncGene::CallSchedule::Root;
+    Gene.Pattern = unitRand(Rng) < TileWeight
+                       ? FuncGene::DomainPattern::TiledVectorized
+                       : FuncGene::DomainPattern::ParallelOuter;
+    Gene.TileX = pickFrom(TileSizes, 4, Rng);
+    Gene.TileY = pickFrom(TileSizes, 4, Rng);
+    Gene.VecWidth = pickFrom(VecWidths, 2, Rng);
+  }
+  return G;
+}
+
+void ScheduleSpace::mutate(Genome &G, std::mt19937 &Rng) const {
+  internal_assert(G.Genes.size() == Order.size());
+  size_t Victim =
+      std::uniform_int_distribution<size_t>(0, Order.size() - 1)(Rng);
+  FuncGene &Gene = G.Genes[Victim];
+  const std::string &Name = Order[Victim];
+
+  // The imaging-specific rules get higher probability (paper section 5).
+  double Roll = unitRand(Rng);
+  if (Roll < 0.25) {
+    // Loop fusion rule: schedule this stage fully parallelized and tiled,
+    // then fuse callees into it recursively until a coin flip fails.
+    Gene.Call = Name == Output.name() ? Gene.Call
+                                      : FuncGene::CallSchedule::Root;
+    Gene.Pattern = FuncGene::DomainPattern::TiledVectorized;
+    std::string Cursor = Name;
+    while (unitRand(Rng) < 0.5) {
+      // Find a producer of Cursor with Cursor as unique consumer.
+      std::string Producer;
+      for (const auto &[Child, Parent] : UniqueConsumer)
+        if (Parent == Cursor) {
+          Producer = Child;
+          break;
+        }
+      if (Producer.empty())
+        break;
+      for (size_t I = 0; I < Order.size(); ++I)
+        if (Order[I] == Producer && canFuse(Producer)) {
+          G.Genes[I].Call = FuncGene::CallSchedule::FuseIntoConsumer;
+          G.Genes[I].Pattern = FuncGene::DomainPattern::VectorizedX;
+          G.Genes[I].SlideScanlines = false;
+        }
+      Cursor = Producer;
+    }
+    return;
+  }
+  if (Roll < 0.5) {
+    // Template rule: one of the paper's three common patterns.
+    int T = std::uniform_int_distribution<int>(0, 2)(Rng);
+    if (T == 0 && canFuse(Name)) {
+      Gene.Call = FuncGene::CallSchedule::FuseIntoConsumer;
+      Gene.Pattern = FuncGene::DomainPattern::VectorizedX;
+    } else if (T == 1) {
+      if (Name != Output.name())
+        Gene.Call = FuncGene::CallSchedule::Root;
+      Gene.Pattern = FuncGene::DomainPattern::TiledVectorized;
+    } else {
+      if (Name != Output.name())
+        Gene.Call = FuncGene::CallSchedule::Root;
+      Gene.Pattern = FuncGene::DomainPattern::ParallelYVecX;
+    }
+    return;
+  }
+  if (Roll < 0.6) {
+    // Randomize constants.
+    Gene.TileX = pickFrom(TileSizes, 4, Rng);
+    Gene.TileY = pickFrom(TileSizes, 4, Rng);
+    Gene.VecWidth = pickFrom(VecWidths, 2, Rng);
+    return;
+  }
+  if (Roll < 0.7) {
+    // Replace with a fresh random gene.
+    Gene = randomGene(Name, Rng);
+    return;
+  }
+  if (Roll < 0.8) {
+    // Copy another function's gene (re-validated below).
+    size_t Source =
+        std::uniform_int_distribution<size_t>(0, Order.size() - 1)(Rng);
+    Gene = G.Genes[Source];
+  } else if (Roll < 0.9) {
+    // Remove a transformation: revert the domain pattern.
+    Gene.Pattern = FuncGene::DomainPattern::Simple;
+  } else {
+    // Add/replace a transformation.
+    Gene.Pattern = unitRand(Rng) < 0.5
+                       ? FuncGene::DomainPattern::VectorizedX
+                       : FuncGene::DomainPattern::ParallelOuter;
+  }
+  // Re-validate the call schedule after generic edits.
+  if (Gene.Call == FuncGene::CallSchedule::Inline && !canInline(Name))
+    Gene.Call = FuncGene::CallSchedule::Root;
+  if (Gene.Call == FuncGene::CallSchedule::FuseIntoConsumer &&
+      !canFuse(Name))
+    Gene.Call = FuncGene::CallSchedule::Root;
+}
+
+Genome ScheduleSpace::crossover(const Genome &A, const Genome &B,
+                                std::mt19937 &Rng) const {
+  internal_assert(A.Genes.size() == B.Genes.size());
+  size_t N = A.Genes.size();
+  size_t P1 = std::uniform_int_distribution<size_t>(0, N)(Rng);
+  size_t P2 = std::uniform_int_distribution<size_t>(0, N)(Rng);
+  if (P1 > P2)
+    std::swap(P1, P2);
+  Genome Child = A;
+  for (size_t I = P1; I < P2; ++I)
+    Child.Genes[I] = B.Genes[I];
+  return Child;
+}
+
+void ScheduleSpace::apply(const Genome &G) const {
+  internal_assert(G.Genes.size() == Order.size());
+  // First pass: reset and record which stages end up inline.
+  std::map<std::string, const FuncGene *> GeneOf;
+  for (size_t I = 0; I < Order.size(); ++I) {
+    Function F = Env.at(Order[I]);
+    F.resetSchedule();
+    GeneOf[Order[I]] = &G.Genes[I];
+  }
+
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const std::string &Name = Order[I];
+    const FuncGene &Gene = G.Genes[I];
+    Function FnHandle = Env.at(Name);
+    Func F(FnHandle);
+    bool IsOutput = Name == Output.name();
+
+    FuncGene::CallSchedule Call = Gene.Call;
+    if (IsOutput)
+      Call = FuncGene::CallSchedule::Root;
+    if (Call == FuncGene::CallSchedule::Inline && !canInline(Name))
+      Call = FuncGene::CallSchedule::Root;
+    if (Call == FuncGene::CallSchedule::FuseIntoConsumer && !canFuse(Name))
+      Call = FuncGene::CallSchedule::Root;
+    // Fusing into an inline consumer is impossible; promote to root.
+    if (Call == FuncGene::CallSchedule::FuseIntoConsumer) {
+      const std::string &Consumer = UniqueConsumer.at(Name);
+      const FuncGene *CG = GeneOf.at(Consumer);
+      bool ConsumerInline =
+          CG->Call == FuncGene::CallSchedule::Inline &&
+          Consumer != Output.name() &&
+          !Env.at(Consumer).hasUpdateDefinition();
+      if (ConsumerInline)
+        Call = FuncGene::CallSchedule::Root;
+    }
+
+    if (Call == FuncGene::CallSchedule::Inline)
+      continue; // the default schedule is inline
+
+    // Domain pattern. Dimension names: innermost pure dim is "x-like".
+    const std::vector<std::string> &Args = FnHandle.args();
+    std::string XName = Args.empty() ? "" : Args[0];
+    std::string YName = Args.size() > 1 ? Args[1] : "";
+    bool TwoD = Args.size() >= 2;
+
+    if (Call == FuncGene::CallSchedule::Root)
+      F.computeRoot();
+
+    switch (Gene.Pattern) {
+    case FuncGene::DomainPattern::Simple:
+      break;
+    case FuncGene::DomainPattern::ParallelOuter: {
+      Dim &Outer = FnHandle.schedule().Dims.front();
+      if (!Outer.IsRVar)
+        Outer.Kind = ForType::Parallel;
+      break;
+    }
+    case FuncGene::DomainPattern::ParallelYVecX:
+      if (TwoD)
+        F.parallel(Var(YName));
+      // Only vectorize the output's x when the split divides cleanly.
+      if (!IsOutput || Gene.VecWidth <= 8)
+        F.vectorize(Var(XName), Gene.VecWidth);
+      break;
+    case FuncGene::DomainPattern::VectorizedX:
+      F.vectorize(Var(XName), Gene.VecWidth);
+      break;
+    case FuncGene::DomainPattern::TiledVectorized:
+      if (TwoD) {
+        Var X(XName), Y(YName), XO(XName + "$to"), YO(YName + "$to"),
+            XI(XName + "$ti"), YI(YName + "$ti");
+        F.tile(X, Y, XO, YO, XI, YI, Gene.TileX, Gene.TileY);
+        if (Gene.VecWidth <= Gene.TileX)
+          F.vectorize(XI, Gene.VecWidth);
+        F.parallel(YO);
+      } else {
+        F.vectorize(Var(XName), Gene.VecWidth);
+      }
+      break;
+    case FuncGene::DomainPattern::GpuTiled:
+      if (TwoD) {
+        Var X(XName), Y(YName), BX(XName + "$b"), BY(YName + "$b"),
+            TX(XName + "$t"), TY(YName + "$t");
+        F.gpuTile(X, Y, BX, BY, TX, TY, Gene.TileX, Gene.TileY);
+      }
+      break;
+    }
+
+    if (Call == FuncGene::CallSchedule::FuseIntoConsumer) {
+      const std::string &Consumer = UniqueConsumer.at(Name);
+      const FuncGene *CG = GeneOf.at(Consumer);
+      Function ConsumerFn = Env.at(Consumer);
+      Func CF(ConsumerFn);
+      const std::vector<std::string> &CArgs = ConsumerFn.args();
+      bool ConsumerTiled =
+          CG->Pattern == FuncGene::DomainPattern::TiledVectorized &&
+          CArgs.size() >= 2 &&
+          (CG->Call != FuncGene::CallSchedule::Inline ||
+           Consumer == Output.name());
+      if (ConsumerTiled) {
+        // Compute within the consumer's tiles.
+        F.computeAt(CF, Var(CArgs[0] + "$to"));
+      } else if (CArgs.size() >= 2 && Gene.SlideScanlines &&
+                 CG->Pattern == FuncGene::DomainPattern::Simple) {
+        // Sliding window over the consumer's scanlines.
+        F.storeRoot().computeAt(CF, Var(CArgs[1]));
+      } else if (CArgs.size() >= 2 &&
+                 (CG->Pattern == FuncGene::DomainPattern::Simple ||
+                  CG->Pattern == FuncGene::DomainPattern::VectorizedX)) {
+        F.computeAt(CF, Var(CArgs[1]));
+      } else {
+        // No safe anchor loop: fall back to root.
+        F.computeRoot();
+      }
+    }
+  }
+}
+
+std::string ScheduleSpace::describe(const Genome &G) const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const FuncGene &Gene = G.Genes[I];
+    OS << Order[I] << ":";
+    switch (Gene.Call) {
+    case FuncGene::CallSchedule::Inline:
+      OS << "inline";
+      break;
+    case FuncGene::CallSchedule::Root:
+      OS << "root";
+      break;
+    case FuncGene::CallSchedule::FuseIntoConsumer:
+      OS << "fused";
+      break;
+    }
+    switch (Gene.Pattern) {
+    case FuncGene::DomainPattern::Simple:
+      break;
+    case FuncGene::DomainPattern::ParallelOuter:
+      OS << "+par";
+      break;
+    case FuncGene::DomainPattern::ParallelYVecX:
+      OS << "+parYvecX" << Gene.VecWidth;
+      break;
+    case FuncGene::DomainPattern::VectorizedX:
+      OS << "+vec" << Gene.VecWidth;
+      break;
+    case FuncGene::DomainPattern::TiledVectorized:
+      OS << "+tile" << Gene.TileX << "x" << Gene.TileY << "v"
+         << Gene.VecWidth;
+      break;
+    case FuncGene::DomainPattern::GpuTiled:
+      OS << "+gpu" << Gene.TileX << "x" << Gene.TileY;
+      break;
+    }
+    OS << " ";
+  }
+  return OS.str();
+}

@@ -1,0 +1,107 @@
+//===-- autotune/ScheduleSpace.h - The schedule search space ----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autotuner's genome representation (paper section 5): each function
+/// in the pipeline carries one gene choosing its call schedule (inline,
+/// root, or fused into its consumer) and a domain-order pattern (the
+/// paper's schedule templates: fully-parallelized-and-tiled, parallel-y /
+/// vectorize-x, vectorize-x, sliding scanlines), plus randomized block-size
+/// constants drawn from small powers of two. Genomes are valid by
+/// construction: fusion is only offered where a unique consumer exists, so
+/// mutate/crossover cannot produce schedules the compiler rejects — this
+/// plays the role of the paper's invalid-schedule rejection sampling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_AUTOTUNE_SCHEDULESPACE_H
+#define HALIDE_AUTOTUNE_SCHEDULESPACE_H
+
+#include "lang/Func.h"
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// One function's schedule choice.
+struct FuncGene {
+  enum class CallSchedule : uint8_t {
+    Inline,          ///< total fusion (compute at every use)
+    Root,            ///< breadth-first granularity
+    FuseIntoConsumer ///< compute within the consumer's tile / scanline
+  };
+  enum class DomainPattern : uint8_t {
+    Simple,          ///< default serial row-major nest
+    ParallelOuter,   ///< parallelize the outermost pure dimension
+    ParallelYVecX,   ///< the paper's template (3)
+    VectorizedX,     ///< the paper's template (1) domain part
+    TiledVectorized, ///< the paper's "fully parallelized and tiled"
+    GpuTiled,        ///< the paper's CUDA template (4)
+  };
+
+  CallSchedule Call = CallSchedule::Root;
+  DomainPattern Pattern = DomainPattern::Simple;
+  /// Whether a fused stage stores at root and slides along the consumer's
+  /// scanlines (trading parallelism for reuse, paper section 4.3).
+  bool SlideScanlines = false;
+  int TileX = 32, TileY = 8, VecWidth = 8;
+};
+
+/// A complete schedule assignment, aligned with ScheduleSpace::order().
+struct Genome {
+  std::vector<FuncGene> Genes;
+};
+
+/// The per-pipeline search space: the stage list, the consumer structure,
+/// and the genome operations the genetic algorithm needs.
+class ScheduleSpace {
+public:
+  explicit ScheduleSpace(Function Output);
+
+  const std::vector<std::string> &order() const { return Order; }
+  size_t size() const { return Order.size(); }
+
+  /// All stages computed and stored breadth-first (the paper's always-valid
+  /// starting point).
+  Genome breadthFirstGenome() const;
+  /// The paper's seeded starting point: inline footprint-1 stages, then
+  /// stochastically choose fully-parallelized-and-tiled or parallel-y.
+  Genome reasonableGenome(std::mt19937 &Rng) const;
+  /// Independent random choices for every stage.
+  Genome randomGenome(std::mt19937 &Rng) const;
+
+  /// The paper's mutation rules: randomize constants, replace, copy,
+  /// add/remove/replace a transformation, the loop-fusion rule, and the
+  /// template rule (the latter two with higher probability).
+  void mutate(Genome &G, std::mt19937 &Rng) const;
+  /// Two-point crossover with cut points between functions.
+  Genome crossover(const Genome &A, const Genome &B,
+                   std::mt19937 &Rng) const;
+
+  /// Applies the genome to the pipeline's schedules.
+  void apply(const Genome &G) const;
+
+  /// One-line description (for logs and EXPERIMENTS.md).
+  std::string describe(const Genome &G) const;
+
+private:
+  FuncGene randomGene(const std::string &Name, std::mt19937 &Rng) const;
+  bool canFuse(const std::string &Name) const;
+  bool canInline(const std::string &Name) const;
+
+  Function Output;
+  std::map<std::string, Function> Env;
+  std::vector<std::string> Order;
+  /// Unique direct consumer of each stage, where one exists.
+  std::map<std::string, std::string> UniqueConsumer;
+};
+
+} // namespace halide
+
+#endif // HALIDE_AUTOTUNE_SCHEDULESPACE_H

@@ -1,0 +1,110 @@
+//===-- codegen/Jit.cpp ----------------------------------------------------------=//
+
+#include "codegen/Jit.h"
+#include "codegen/CodeGenC.h"
+#include "runtime/Buffer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <unistd.h>
+
+using namespace halide;
+
+int CompiledPipeline::run(const ParamBindings &Params) const {
+  internal_assert(valid()) << "run of invalid CompiledPipeline";
+  std::vector<void *> Bufs;
+  std::vector<int64_t> IntArgs;
+  std::vector<double> FloatArgs;
+
+  for (const BufferArg &Arg : Buffers) {
+    const RawBuffer &Raw = Params.buffer(Arg.Name);
+    user_assert(Raw.defined()) << "buffer " << Arg.Name << " is unbound";
+    user_assert(Raw.ElemType == Arg.ElemType)
+        << "buffer " << Arg.Name << " has element type "
+        << Raw.ElemType.str() << ", pipeline expects " << Arg.ElemType.str();
+    user_assert(Raw.Dim[0].Stride == 1)
+        << "buffer " << Arg.Name
+        << " must be dense in dimension 0 (stride 1)";
+    Bufs.push_back(Raw.Host);
+    for (int D = 0; D < MaxBufferDims; ++D) {
+      if (D < Raw.Dimensions) {
+        IntArgs.push_back(Raw.Dim[D].Min);
+        IntArgs.push_back(Raw.Dim[D].Extent);
+        IntArgs.push_back(Raw.Dim[D].Stride);
+      } else {
+        IntArgs.push_back(0);
+        IntArgs.push_back(1);
+        IntArgs.push_back(0);
+      }
+    }
+  }
+  for (const ScalarArg &Arg : Scalars) {
+    double Value;
+    user_assert(Params.lookupScalar(Arg.Name, &Value))
+        << "scalar parameter " << Arg.Name << " is unbound";
+    if (Arg.ArgType.isFloat())
+      FloatArgs.push_back(Value);
+    else
+      IntArgs.push_back(int64_t(Value));
+  }
+  // Never pass null array pointers.
+  IntArgs.push_back(0);
+  FloatArgs.push_back(0);
+  return Fn(runtimeVTable(), Bufs.data(), IntArgs.data(), FloatArgs.data());
+}
+
+CompiledPipeline halide::jitCompile(const LoweredPipeline &P,
+                                    const std::string &ExtraFlags) {
+  CompiledPipeline Result;
+  Result.Buffers = P.Buffers;
+  Result.Scalars = P.Scalars;
+
+  std::string FnName = "hl_pipeline";
+  Result.Source = codegenC(P, FnName);
+
+  char Dir[] = "/tmp/hl_jit_XXXXXX";
+  user_assert(mkdtemp(Dir)) << "could not create JIT temp directory";
+  std::string CPath = std::string(Dir) + "/pipeline.c";
+  std::string SoPath = std::string(Dir) + "/pipeline.so";
+  {
+    std::ofstream Out(CPath);
+    Out << Result.Source;
+  }
+
+  // -ffp-contract=off keeps float results bit-identical across schedules
+  // (FMA contraction would otherwise round differently per loop shape),
+  // preserving the paper's "all valid schedules generate correct code"
+  // property at the bit level.
+  std::string Cmd = "cc -O3 -march=native -fno-math-errno "
+                    "-ffp-contract=off -fPIC -shared " +
+                    ExtraFlags + " -o " + SoPath + " " + CPath +
+                    " -lm 2> " + std::string(Dir) + "/cc.log";
+  int Rc = std::system(Cmd.c_str());
+  if (Rc != 0) {
+    std::string Log;
+    {
+      std::ifstream In(std::string(Dir) + "/cc.log");
+      std::string Line;
+      while (std::getline(In, Line))
+        Log += Line + "\n";
+    }
+    user_error << "host C compiler failed on generated code:\n"
+               << Log << "\nsource left at " << CPath;
+  }
+
+  void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  user_assert(Handle) << "dlopen failed: " << dlerror();
+  Result.Handle = std::shared_ptr<void>(Handle, [](void *H) { dlclose(H); });
+  Result.Fn = reinterpret_cast<CompiledPipeline::EntryPoint>(
+      dlsym(Handle, FnName.c_str()));
+  user_assert(Result.Fn) << "generated entry point not found";
+
+  // The artifacts can be removed once loaded; keep the source in memory.
+  std::remove(CPath.c_str());
+  std::remove((std::string(Dir) + "/cc.log").c_str());
+  std::remove(SoPath.c_str());
+  rmdir(Dir);
+  return Result;
+}

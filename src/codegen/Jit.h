@@ -1,0 +1,63 @@
+//===-- codegen/Jit.h - Compile-and-load native pipelines -------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JIT execution of lowered pipelines: the C backend's output is compiled
+/// with the host C compiler into a shared object and loaded with dlopen
+/// (DESIGN.md substitution 1 for the paper's LLVM JIT). The entry point
+/// receives the runtime vtable, so the shared object is self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_CODEGEN_JIT_H
+#define HALIDE_CODEGEN_JIT_H
+
+#include "runtime/Runtime.h"
+#include "transforms/Lower.h"
+
+#include <memory>
+#include <string>
+
+namespace halide {
+
+/// A natively compiled pipeline, ready to run.
+class CompiledPipeline {
+public:
+  CompiledPipeline() = default;
+
+  bool valid() const { return Fn != nullptr; }
+
+  /// Executes the pipeline. All buffers (output and inputs) and scalar
+  /// parameters must be bound in \p Params. Returns the pipeline's exit
+  /// code (0 on success).
+  int run(const ParamBindings &Params) const;
+
+  /// The generated C source (for inspection and tests).
+  const std::string &source() const { return Source; }
+
+private:
+  friend CompiledPipeline jitCompile(const LoweredPipeline &,
+                                     const std::string &);
+
+  using EntryPoint = int32_t (*)(const RuntimeVTable *, void **,
+                                 const int64_t *, const double *);
+
+  std::shared_ptr<void> Handle; // dlopen handle, closed on destruction
+  EntryPoint Fn = nullptr;
+  std::string Source;
+  // Argument signature (copied from the LoweredPipeline).
+  std::vector<BufferArg> Buffers;
+  std::vector<ScalarArg> Scalars;
+};
+
+/// Emits C for \p P, compiles it with the host compiler, and loads it.
+/// Aborts (user_error) if the host compiler fails.
+CompiledPipeline jitCompile(const LoweredPipeline &P,
+                            const std::string &ExtraFlags = "");
+
+} // namespace halide
+
+#endif // HALIDE_CODEGEN_JIT_H

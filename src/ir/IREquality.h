@@ -1,0 +1,42 @@
+//===-- ir/IREquality.h - Structural comparison of IR ----------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep structural equality and a total order over expressions, used by the
+/// simplifier (canonical operand ordering), common subexpression elimination
+/// (expression maps), and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_IR_IREQUALITY_H
+#define HALIDE_IR_IREQUALITY_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Three-way structural comparison defining an arbitrary but consistent
+/// total order: -1 if A precedes B, 0 if structurally equal, 1 otherwise.
+int compareExpr(const Expr &A, const Expr &B);
+
+/// True if the two expressions are structurally identical (same graph shape,
+/// names, constants, and types). Undefined expressions compare equal to each
+/// other only.
+bool equal(const Expr &A, const Expr &B);
+
+/// True if the two statements are structurally identical.
+bool equal(const Stmt &A, const Stmt &B);
+
+/// Functor for using Expr as a key in ordered containers.
+struct ExprCompare {
+  bool operator()(const Expr &A, const Expr &B) const {
+    return compareExpr(A, B) < 0;
+  }
+};
+
+} // namespace halide
+
+#endif // HALIDE_IR_IREQUALITY_H

@@ -1,0 +1,78 @@
+//===-- ir/IRMutator.h - Rewriting IR traversal -----------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Base class for IR-to-IR transformations. The default implementations
+/// rebuild each node from mutated children, returning the original node
+/// unchanged (pointer-identical) when no child changed, so transforms
+/// preserve sharing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_IR_IRMUTATOR_H
+#define HALIDE_IR_IRMUTATOR_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Rewriting visitor. Override visit() overloads for the nodes a transform
+/// cares about; call mutate() to recurse.
+class IRMutator {
+public:
+  virtual ~IRMutator();
+
+  virtual Expr mutate(const Expr &E);
+  virtual Stmt mutate(const Stmt &S);
+
+protected:
+  virtual Expr visit(const IntImm *);
+  virtual Expr visit(const UIntImm *);
+  virtual Expr visit(const FloatImm *);
+  virtual Expr visit(const StringImm *);
+  virtual Expr visit(const Cast *);
+  virtual Expr visit(const Variable *);
+  virtual Expr visit(const Add *);
+  virtual Expr visit(const Sub *);
+  virtual Expr visit(const Mul *);
+  virtual Expr visit(const Div *);
+  virtual Expr visit(const Mod *);
+  virtual Expr visit(const Min *);
+  virtual Expr visit(const Max *);
+  virtual Expr visit(const EQ *);
+  virtual Expr visit(const NE *);
+  virtual Expr visit(const LT *);
+  virtual Expr visit(const LE *);
+  virtual Expr visit(const GT *);
+  virtual Expr visit(const GE *);
+  virtual Expr visit(const And *);
+  virtual Expr visit(const Or *);
+  virtual Expr visit(const Not *);
+  virtual Expr visit(const Select *);
+  virtual Expr visit(const Load *);
+  virtual Expr visit(const Ramp *);
+  virtual Expr visit(const Broadcast *);
+  virtual Expr visit(const Call *);
+  virtual Expr visit(const Let *);
+  virtual Stmt visit(const LetStmt *);
+  virtual Stmt visit(const AssertStmt *);
+  virtual Stmt visit(const ProducerConsumer *);
+  virtual Stmt visit(const For *);
+  virtual Stmt visit(const Store *);
+  virtual Stmt visit(const Provide *);
+  virtual Stmt visit(const Allocate *);
+  virtual Stmt visit(const Realize *);
+  virtual Stmt visit(const Block *);
+  virtual Stmt visit(const IfThenElse *);
+  virtual Stmt visit(const Evaluate *);
+
+private:
+  friend class MutatorDispatch;
+};
+
+} // namespace halide
+
+#endif // HALIDE_IR_IRMUTATOR_H

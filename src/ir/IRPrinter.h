@@ -1,0 +1,91 @@
+//===-- ir/IRPrinter.h - Human-readable IR printing -------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printing of Exprs and Stmts in the loop-nest style the paper uses
+/// in Figure 5. Used for debugging, golden tests, and EXPERIMENTS.md output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_IR_IRPRINTER_H
+#define HALIDE_IR_IRPRINTER_H
+
+#include "ir/IRVisitor.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace halide {
+
+/// Renders an expression as a compact single-line string.
+std::string exprToString(const Expr &E);
+
+/// Renders a statement as an indented multi-line string.
+std::string stmtToString(const Stmt &S);
+
+std::ostream &operator<<(std::ostream &OS, const Expr &E);
+std::ostream &operator<<(std::ostream &OS, const Stmt &S);
+
+/// The visitor behind the printing entry points; exposed so debugging tools
+/// can subclass it (e.g. to annotate nodes).
+class IRPrinter : public IRVisitor {
+public:
+  explicit IRPrinter(std::ostream &OS) : OS(OS) {}
+
+  void print(const Expr &E);
+  void print(const Stmt &S);
+
+  void visit(const IntImm *) override;
+  void visit(const UIntImm *) override;
+  void visit(const FloatImm *) override;
+  void visit(const StringImm *) override;
+  void visit(const Cast *) override;
+  void visit(const Variable *) override;
+  void visit(const Add *) override;
+  void visit(const Sub *) override;
+  void visit(const Mul *) override;
+  void visit(const Div *) override;
+  void visit(const Mod *) override;
+  void visit(const Min *) override;
+  void visit(const Max *) override;
+  void visit(const EQ *) override;
+  void visit(const NE *) override;
+  void visit(const LT *) override;
+  void visit(const LE *) override;
+  void visit(const GT *) override;
+  void visit(const GE *) override;
+  void visit(const And *) override;
+  void visit(const Or *) override;
+  void visit(const Not *) override;
+  void visit(const Select *) override;
+  void visit(const Load *) override;
+  void visit(const Ramp *) override;
+  void visit(const Broadcast *) override;
+  void visit(const Call *) override;
+  void visit(const Let *) override;
+  void visit(const LetStmt *) override;
+  void visit(const AssertStmt *) override;
+  void visit(const ProducerConsumer *) override;
+  void visit(const For *) override;
+  void visit(const Store *) override;
+  void visit(const Provide *) override;
+  void visit(const Allocate *) override;
+  void visit(const Realize *) override;
+  void visit(const Block *) override;
+  void visit(const IfThenElse *) override;
+  void visit(const Evaluate *) override;
+
+private:
+  void indent();
+  template <typename T> void printBinary(const T *Op, const char *Symbol);
+
+  std::ostream &OS;
+  int IndentLevel = 0;
+};
+
+} // namespace halide
+
+#endif // HALIDE_IR_IRPRINTER_H

@@ -1,0 +1,119 @@
+//===-- ir/IRVisitor.cpp ---------------------------------------------------==//
+
+#include "ir/IRVisitor.h"
+
+using namespace halide;
+
+IRVisitor::~IRVisitor() = default;
+
+void IRVisitor::visit(const IntImm *) {}
+void IRVisitor::visit(const UIntImm *) {}
+void IRVisitor::visit(const FloatImm *) {}
+void IRVisitor::visit(const StringImm *) {}
+void IRVisitor::visit(const Variable *) {}
+
+void IRVisitor::visit(const Cast *Op) { Op->Value.accept(this); }
+
+namespace {
+template <typename T> void visitBinary(IRVisitor *V, const T *Op) {
+  Op->A.accept(V);
+  Op->B.accept(V);
+}
+} // namespace
+
+void IRVisitor::visit(const Add *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Sub *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Mul *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Div *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Mod *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Min *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Max *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const EQ *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const NE *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const LT *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const LE *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const GT *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const GE *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const And *Op) { visitBinary(this, Op); }
+void IRVisitor::visit(const Or *Op) { visitBinary(this, Op); }
+
+void IRVisitor::visit(const Not *Op) { Op->A.accept(this); }
+
+void IRVisitor::visit(const Select *Op) {
+  Op->Condition.accept(this);
+  Op->TrueValue.accept(this);
+  Op->FalseValue.accept(this);
+}
+
+void IRVisitor::visit(const Load *Op) { Op->Index.accept(this); }
+
+void IRVisitor::visit(const Ramp *Op) {
+  Op->Base.accept(this);
+  Op->Stride.accept(this);
+}
+
+void IRVisitor::visit(const Broadcast *Op) { Op->Value.accept(this); }
+
+void IRVisitor::visit(const Call *Op) {
+  for (const Expr &Arg : Op->Args)
+    Arg.accept(this);
+}
+
+void IRVisitor::visit(const Let *Op) {
+  Op->Value.accept(this);
+  Op->Body.accept(this);
+}
+
+void IRVisitor::visit(const LetStmt *Op) {
+  Op->Value.accept(this);
+  Op->Body.accept(this);
+}
+
+void IRVisitor::visit(const AssertStmt *Op) { Op->Condition.accept(this); }
+
+void IRVisitor::visit(const ProducerConsumer *Op) { Op->Body.accept(this); }
+
+void IRVisitor::visit(const For *Op) {
+  Op->MinExpr.accept(this);
+  Op->Extent.accept(this);
+  Op->Body.accept(this);
+}
+
+void IRVisitor::visit(const Store *Op) {
+  Op->Value.accept(this);
+  Op->Index.accept(this);
+}
+
+void IRVisitor::visit(const Provide *Op) {
+  Op->Value.accept(this);
+  for (const Expr &Arg : Op->Args)
+    Arg.accept(this);
+}
+
+void IRVisitor::visit(const Allocate *Op) {
+  for (const Expr &E : Op->Extents)
+    E.accept(this);
+  Op->Body.accept(this);
+}
+
+void IRVisitor::visit(const Realize *Op) {
+  for (const Range &R : Op->Bounds) {
+    R.Min.accept(this);
+    R.Extent.accept(this);
+  }
+  Op->Body.accept(this);
+}
+
+void IRVisitor::visit(const Block *Op) {
+  Op->First.accept(this);
+  Op->Rest.accept(this);
+}
+
+void IRVisitor::visit(const IfThenElse *Op) {
+  Op->Condition.accept(this);
+  Op->ThenCase.accept(this);
+  if (Op->ElseCase.defined())
+    Op->ElseCase.accept(this);
+}
+
+void IRVisitor::visit(const Evaluate *Op) { Op->Value.accept(this); }

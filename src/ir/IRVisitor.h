@@ -1,0 +1,68 @@
+//===-- ir/IRVisitor.h - Read-only IR traversal -----------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic visitor over the IR. The base class visits every child, so
+/// analyses override only the nodes they care about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_IR_IRVISITOR_H
+#define HALIDE_IR_IRVISITOR_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Read-only visitor whose default implementations traverse all children.
+class IRVisitor {
+public:
+  virtual ~IRVisitor();
+
+  virtual void visit(const IntImm *);
+  virtual void visit(const UIntImm *);
+  virtual void visit(const FloatImm *);
+  virtual void visit(const StringImm *);
+  virtual void visit(const Cast *);
+  virtual void visit(const Variable *);
+  virtual void visit(const Add *);
+  virtual void visit(const Sub *);
+  virtual void visit(const Mul *);
+  virtual void visit(const Div *);
+  virtual void visit(const Mod *);
+  virtual void visit(const Min *);
+  virtual void visit(const Max *);
+  virtual void visit(const EQ *);
+  virtual void visit(const NE *);
+  virtual void visit(const LT *);
+  virtual void visit(const LE *);
+  virtual void visit(const GT *);
+  virtual void visit(const GE *);
+  virtual void visit(const And *);
+  virtual void visit(const Or *);
+  virtual void visit(const Not *);
+  virtual void visit(const Select *);
+  virtual void visit(const Load *);
+  virtual void visit(const Ramp *);
+  virtual void visit(const Broadcast *);
+  virtual void visit(const Call *);
+  virtual void visit(const Let *);
+  virtual void visit(const LetStmt *);
+  virtual void visit(const AssertStmt *);
+  virtual void visit(const ProducerConsumer *);
+  virtual void visit(const For *);
+  virtual void visit(const Store *);
+  virtual void visit(const Provide *);
+  virtual void visit(const Allocate *);
+  virtual void visit(const Realize *);
+  virtual void visit(const Block *);
+  virtual void visit(const IfThenElse *);
+  virtual void visit(const Evaluate *);
+};
+
+} // namespace halide
+
+#endif // HALIDE_IR_IRVISITOR_H

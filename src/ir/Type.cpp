@@ -1,0 +1,75 @@
+//===-- ir/Type.cpp -------------------------------------------------------==//
+
+#include "ir/Type.h"
+
+using namespace halide;
+
+int64_t Type::intMin() const {
+  internal_assert(isInt() || isUInt()) << "intMin of non-integer type";
+  if (isUInt())
+    return 0;
+  if (Bits == 64)
+    return INT64_MIN;
+  return -(int64_t(1) << (Bits - 1));
+}
+
+int64_t Type::intMax() const {
+  internal_assert(isInt() || isUInt()) << "intMax of non-integer type";
+  if (isInt()) {
+    if (Bits == 64)
+      return INT64_MAX;
+    return (int64_t(1) << (Bits - 1)) - 1;
+  }
+  // Unsigned: may not fit in int64 for 64-bit; callers use uintMax then.
+  if (Bits >= 64)
+    return INT64_MAX;
+  return (int64_t(1) << Bits) - 1;
+}
+
+uint64_t Type::uintMax() const {
+  internal_assert(isUInt()) << "uintMax of non-uint type";
+  if (Bits == 64)
+    return UINT64_MAX;
+  return (uint64_t(1) << Bits) - 1;
+}
+
+bool Type::canRepresent(int64_t Value) const {
+  if (isInt())
+    return Value >= intMin() && Value <= intMax();
+  if (isUInt())
+    return Value >= 0 &&
+           (Bits == 64 || uint64_t(Value) <= uintMax());
+  if (isFloat())
+    return Bits == 64 ? true
+                      : Value == int64_t(float(Value));
+  return false;
+}
+
+bool Type::canRepresent(double Value) const {
+  if (!isFloat())
+    return false;
+  return Bits == 64 || double(float(Value)) == Value;
+}
+
+std::string Type::str() const {
+  std::string Base;
+  switch (Code) {
+  case TypeCode::Int:
+    Base = "int";
+    break;
+  case TypeCode::UInt:
+    Base = Bits == 1 ? "bool" : "uint";
+    break;
+  case TypeCode::Float:
+    Base = "float";
+    break;
+  case TypeCode::Handle:
+    Base = "handle";
+    break;
+  }
+  if (!(Code == TypeCode::UInt && Bits == 1))
+    Base += std::to_string(Bits);
+  if (Lanes > 1)
+    Base += "x" + std::to_string(Lanes);
+  return Base;
+}

@@ -1,0 +1,99 @@
+//===-- ir/Type.h - Scalar and vector value types ---------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types of values computed by pipelines: signed/unsigned integers and floats
+/// of a given bit width, with a vector lane count. Vector types are produced
+/// only by the vectorization pass (paper section 4.5); front-end expressions
+/// are always scalar (lanes == 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_IR_TYPE_H
+#define HALIDE_IR_TYPE_H
+
+#include "support/Util.h"
+
+#include <cstdint>
+#include <string>
+
+namespace halide {
+
+/// The fundamental scalar kind of a Type.
+enum class TypeCode : uint8_t {
+  Int,    ///< Signed two's-complement integer.
+  UInt,   ///< Unsigned integer. UInt(1) is the boolean type.
+  Float,  ///< IEEE floating point (32 or 64 bits).
+  Handle, ///< An opaque pointer-sized value (used for buffer base pointers).
+};
+
+/// A value type: scalar code, bit width, and vector lane count.
+struct Type {
+  TypeCode Code = TypeCode::Int;
+  int Bits = 32;
+  int Lanes = 1;
+
+  Type() = default;
+  Type(TypeCode Code, int Bits, int Lanes) : Code(Code), Bits(Bits),
+                                             Lanes(Lanes) {
+    internal_assert(Lanes >= 1) << "type with non-positive lanes";
+  }
+
+  bool isInt() const { return Code == TypeCode::Int; }
+  bool isUInt() const { return Code == TypeCode::UInt; }
+  bool isFloat() const { return Code == TypeCode::Float; }
+  bool isHandle() const { return Code == TypeCode::Handle; }
+  bool isBool() const { return Code == TypeCode::UInt && Bits == 1; }
+  bool isScalar() const { return Lanes == 1; }
+  bool isVector() const { return Lanes > 1; }
+
+  /// The same type with a different lane count.
+  Type withLanes(int NewLanes) const { return Type(Code, Bits, NewLanes); }
+  /// The scalar element type of this (possibly vector) type.
+  Type element() const { return withLanes(1); }
+  /// The same lane count with a different scalar code/width.
+  Type withCode(TypeCode NewCode) const { return Type(NewCode, Bits, Lanes); }
+
+  /// Number of bytes a scalar element occupies in a buffer.
+  int bytes() const { return (Bits + 7) / 8; }
+
+  /// Smallest/largest representable value for integer types (as int64 /
+  /// uint64). Asserts on floats.
+  int64_t intMin() const;
+  int64_t intMax() const;
+  uint64_t uintMax() const;
+
+  /// True if the given constant is exactly representable in this type.
+  bool canRepresent(int64_t Value) const;
+  bool canRepresent(double Value) const;
+
+  bool operator==(const Type &Other) const {
+    return Code == Other.Code && Bits == Other.Bits && Lanes == Other.Lanes;
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  /// A short printable form such as "int32" or "uint8x4".
+  std::string str() const;
+};
+
+/// Convenience constructors mirroring the names in the paper's examples.
+inline Type Int(int Bits, int Lanes = 1) {
+  return Type(TypeCode::Int, Bits, Lanes);
+}
+inline Type UInt(int Bits, int Lanes = 1) {
+  return Type(TypeCode::UInt, Bits, Lanes);
+}
+inline Type Float(int Bits, int Lanes = 1) {
+  return Type(TypeCode::Float, Bits, Lanes);
+}
+inline Type Bool(int Lanes = 1) { return UInt(1, Lanes); }
+inline Type Handle(int Lanes = 1) {
+  return Type(TypeCode::Handle, 64, Lanes);
+}
+
+} // namespace halide
+
+#endif // HALIDE_IR_TYPE_H

@@ -1,0 +1,48 @@
+//===-- lang/ImageParam.cpp ----------------------------------------------------=//
+
+#include "lang/ImageParam.h"
+
+using namespace halide;
+
+ImageParam::ImageParam(Type ElemType, int Dimensions, const std::string &Name)
+    : ParamName(Name.empty() ? uniqueName("img") : Name), ElemType(ElemType),
+      Dims(Dimensions) {
+  user_assert(Dimensions >= 1 && Dimensions <= 4)
+      << "ImageParam must have 1-4 dimensions";
+}
+
+Expr ImageParam::operator()(std::vector<Expr> Args) const {
+  user_assert(defined()) << "use of undefined ImageParam";
+  user_assert(int(Args.size()) == Dims)
+      << "ImageParam " << ParamName << " called with " << Args.size()
+      << " coordinates, expected " << Dims;
+  std::vector<Expr> CallArgs;
+  CallArgs.reserve(Args.size());
+  for (Expr &Arg : Args)
+    CallArgs.push_back(cast(Int(32), Arg));
+  return Call::make(ElemType, ParamName, std::move(CallArgs),
+                    CallType::Image);
+}
+
+Expr ImageParam::operator()(Expr X) const {
+  return (*this)(std::vector<Expr>{X});
+}
+Expr ImageParam::operator()(Expr X, Expr Y) const {
+  return (*this)(std::vector<Expr>{X, Y});
+}
+Expr ImageParam::operator()(Expr X, Expr Y, Expr Z) const {
+  return (*this)(std::vector<Expr>{X, Y, Z});
+}
+
+Expr ImageParam::extent(int D) const {
+  user_assert(D >= 0 && D < Dims) << "extent dimension out of range";
+  return Variable::make(Int(32),
+                        ParamName + ".extent." + std::to_string(D),
+                        /*IsParam=*/true);
+}
+
+Expr ImageParam::minCoord(int D) const {
+  user_assert(D >= 0 && D < Dims) << "min dimension out of range";
+  return Variable::make(Int(32), ParamName + ".min." + std::to_string(D),
+                        /*IsParam=*/true);
+}

@@ -1,0 +1,75 @@
+//===-- lang/ImageParam.h - Pipeline inputs ---------------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime-bound pipeline inputs: ImageParam (the paper's UniformImage) for
+/// input images, and Param<T> for scalar parameters. Both are bound to
+/// concrete buffers/values when the pipeline is executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_IMAGEPARAM_H
+#define HALIDE_LANG_IMAGEPARAM_H
+
+#include "ir/IROperators.h"
+
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// An input image of a given element type and dimensionality. Loads from it
+/// appear in the IR as Call nodes with CallType::Image; its extents appear
+/// as scalar parameters named "<name>.extent.<d>" / "<name>.min.<d>".
+class ImageParam {
+public:
+  ImageParam() = default;
+  ImageParam(Type ElemType, int Dimensions, const std::string &Name = "");
+
+  const std::string &name() const { return ParamName; }
+  Type type() const { return ElemType; }
+  int dimensions() const { return Dims; }
+  bool defined() const { return !ParamName.empty(); }
+
+  /// Loads a pixel. Coordinates are cast to Int(32).
+  Expr operator()(Expr X) const;
+  Expr operator()(Expr X, Expr Y) const;
+  Expr operator()(Expr X, Expr Y, Expr Z) const;
+  Expr operator()(std::vector<Expr> Args) const;
+
+  /// Symbolic extent/min of dimension \p D, bound at execution.
+  Expr extent(int D) const;
+  Expr minCoord(int D) const;
+  Expr width() const { return extent(0); }
+  Expr height() const { return extent(1); }
+  Expr channels() const { return extent(2); }
+
+private:
+  std::string ParamName;
+  Type ElemType;
+  int Dims = 0;
+};
+
+/// A scalar runtime parameter (the paper's uniforms).
+template <typename T> class Param {
+public:
+  Param() : ParamName(uniqueName("p")) {}
+  explicit Param(const std::string &Name) : ParamName(Name) {}
+
+  const std::string &name() const { return ParamName; }
+  Type type() const { return typeOf<T>(); }
+
+  operator Expr() const {
+    return Variable::make(typeOf<T>(), ParamName, /*IsParam=*/true);
+  }
+
+private:
+  std::string ParamName;
+};
+
+} // namespace halide
+
+#endif // HALIDE_LANG_IMAGEPARAM_H

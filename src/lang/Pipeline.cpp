@@ -1,0 +1,23 @@
+//===-- lang/Pipeline.cpp --------------------------------------------------------=//
+
+#include "lang/Pipeline.h"
+#include "codegen/Interpreter.h"
+#include "ir/IRPrinter.h"
+
+using namespace halide;
+
+LoweredPipeline Pipeline::lowerPipeline(const LowerOptions &Opts) {
+  return lower(Output.function(), Opts);
+}
+
+std::string Pipeline::loweredText(const LowerOptions &Opts) {
+  return stmtToString(lowerPipeline(Opts).Body);
+}
+
+ExecutionStats Pipeline::realize(RawBuffer Out, ParamBindings Params,
+                                 const LowerOptions &Opts) {
+  user_assert(Out.defined()) << "realize into an undefined buffer";
+  LoweredPipeline P = lowerPipeline(Opts);
+  Params.bind(P.Name, Out);
+  return interpret(P, Params);
+}

@@ -1,0 +1,69 @@
+//===-- lang/Pipeline.h - Compile-and-run entry point -----------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the front end to the compiler and back ends: a Pipeline wraps an
+/// output Func, lowers it (with its current schedule), and executes it via
+/// the reference interpreter or the JIT backend. The generated pipeline is
+/// a single procedure taking the output buffer, input image buffers, and
+/// scalar parameters — mirroring the paper's C-ABI entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_PIPELINE_H
+#define HALIDE_LANG_PIPELINE_H
+
+#include "lang/Func.h"
+#include "runtime/Runtime.h"
+#include "runtime/Tracing.h"
+#include "transforms/Lower.h"
+
+#include <string>
+
+namespace halide {
+
+/// A compiled-on-demand image processing pipeline.
+class Pipeline {
+public:
+  explicit Pipeline(Func Output) : Output(std::move(Output)) {}
+
+  Func &output() { return Output; }
+  const Func &output() const { return Output; }
+
+  /// Lowers with the Funcs' current schedules.
+  LoweredPipeline lowerPipeline(const LowerOptions &Opts = LowerOptions());
+
+  /// The lowered statement pretty-printed (for inspection and tests).
+  std::string loweredText(const LowerOptions &Opts = LowerOptions());
+
+  /// Executes on the reference interpreter, writing into \p Out (which
+  /// also determines the requested output region). Extra inputs and
+  /// scalars come from \p Params.
+  ExecutionStats realize(RawBuffer Out, ParamBindings Params = ParamBindings(),
+                         const LowerOptions &Opts = LowerOptions());
+
+  template <typename T>
+  ExecutionStats realize(Buffer<T> &Out,
+                         ParamBindings Params = ParamBindings(),
+                         const LowerOptions &Opts = LowerOptions()) {
+    return realize(Out.raw(), std::move(Params), Opts);
+  }
+
+  /// Allocates a W x H output buffer, realizes into it, and returns it.
+  template <typename T>
+  Buffer<T> realize2D(int W, int H, ParamBindings Params = ParamBindings()) {
+    Buffer<T> Out(W, H);
+    realize(Out.raw(), std::move(Params));
+    return Out;
+  }
+
+private:
+  Func Output;
+};
+
+} // namespace halide
+
+#endif // HALIDE_LANG_PIPELINE_H

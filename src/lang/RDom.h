@@ -1,0 +1,82 @@
+//===-- lang/RDom.h - Reduction domains -------------------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduction domains (paper section 2, "Reduction functions"): explicit
+/// bounded iteration spaces over which update definitions recurse in
+/// lexicographic order. An RDom's dimensions appear in update definitions
+/// as RVars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_RDOM_H
+#define HALIDE_LANG_RDOM_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// One dimension of a reduction domain.
+struct ReductionVariable {
+  std::string Name;
+  Expr Min, Extent;
+};
+
+/// A named reduction dimension; converts to a Variable expression.
+class RVar {
+public:
+  RVar() = default;
+  explicit RVar(const std::string &Name) : VarName(Name) {}
+
+  const std::string &name() const { return VarName; }
+  operator Expr() const;
+
+private:
+  std::string VarName;
+};
+
+/// A multidimensional reduction domain. Dimensions are iterated in
+/// lexicographic order, later dimensions innermost: for a 2-D RDom r,
+/// r.y is the outer loop and r.x the inner one.
+class RDom {
+public:
+  RDom() = default;
+
+  /// 1-D domain over [Min, Min+Extent).
+  RDom(Expr Min, Expr Extent, const std::string &Name = "");
+  /// 2-D domain; (MinX, ExtentX) is dimension x, (MinY, ExtentY) is y.
+  RDom(Expr MinX, Expr ExtentX, Expr MinY, Expr ExtentY,
+       const std::string &Name = "");
+  /// General constructor from explicit dimensions.
+  explicit RDom(const std::vector<ReductionVariable> &Dims);
+
+  bool defined() const { return !Dims.empty(); }
+  size_t dimensions() const { return Dims.size(); }
+  const std::vector<ReductionVariable> &domain() const { return Dims; }
+
+  /// Dimension accessors in the style of the paper (r.x, r.y, ...).
+  RVar x, y, z, w;
+
+  /// 1-D RDoms convert directly to their single variable.
+  operator Expr() const;
+  operator RVar() const;
+
+private:
+  void initAccessors();
+  std::vector<ReductionVariable> Dims;
+};
+
+/// Looks up the registered reduction variable with the given name; returns
+/// null if the name does not belong to any RDom. Used when inferring the
+/// reduction domain of an update definition from the RVars it mentions.
+const ReductionVariable *lookupReductionVariable(const std::string &Name);
+
+} // namespace halide
+
+#endif // HALIDE_LANG_RDOM_H

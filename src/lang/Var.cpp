@@ -1,0 +1,10 @@
+//===-- lang/Var.cpp ----------------------------------------------------------=//
+
+#include "lang/Var.h"
+#include "support/Util.h"
+
+using namespace halide;
+
+Var::Var() : VarName(uniqueName("v")) {}
+
+Var::operator Expr() const { return Variable::make(Int(32), VarName); }

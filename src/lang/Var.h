@@ -1,0 +1,44 @@
+//===-- lang/Var.h - Named pure dimensions ----------------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Var names a dimension of a Func's infinite integer domain (paper
+/// section 2). Vars convert implicitly to Int(32) Variable expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_VAR_H
+#define HALIDE_LANG_VAR_H
+
+#include "ir/Expr.h"
+
+#include <string>
+
+namespace halide {
+
+/// A named pure dimension. Two Vars with the same name are the same
+/// dimension.
+class Var {
+public:
+  /// Creates a Var with a fresh unique name.
+  Var();
+  /// Creates a Var with the given name.
+  explicit Var(const std::string &Name) : VarName(Name) {}
+
+  const std::string &name() const { return VarName; }
+
+  bool sameAs(const Var &Other) const { return VarName == Other.VarName; }
+
+  /// Converts to an Int(32) Variable expression for use in definitions.
+  operator Expr() const;
+
+private:
+  std::string VarName;
+};
+
+} // namespace halide
+
+#endif // HALIDE_LANG_VAR_H

@@ -1,0 +1,51 @@
+//===-- metrics/ScheduleMetrics.cpp ----------------------------------------------=//
+
+#include "metrics/ScheduleMetrics.h"
+#include "codegen/Interpreter.h"
+#include "codegen/Jit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+using namespace halide;
+
+StrategyMetrics halide::analyzeStrategy(const std::string &Name,
+                                        LoweredPipeline &P,
+                                        const ParamBindings &Params,
+                                        int64_t BreadthFirstOps) {
+  InterpOptions Opts;
+  Opts.TrackReuseDistance = true;
+  ExecutionStats Stats = interpret(P, Params, Opts);
+
+  StrategyMetrics M;
+  M.StrategyName = Name;
+  M.Span = std::max<int64_t>(Stats.ParallelIterations, 1);
+  for (const auto &[Buf, Dist] : Stats.MaxReuseDistance)
+    M.MaxReuseDistance = std::max(M.MaxReuseDistance, Dist);
+  M.PeakMemoryBytes = Stats.PeakAllocationBytes;
+  M.MemoryOps = Stats.totalStores();
+  for (const auto &[Buf, Count] : Stats.LoadsPerBuffer)
+    M.MemoryOps += Count;
+  if (BreadthFirstOps > 0)
+    M.WorkAmplification = double(M.MemoryOps) / double(BreadthFirstOps);
+  return M;
+}
+
+double halide::benchmarkMs(const CompiledPipeline &CP,
+                           const ParamBindings &Params, int Iters) {
+  internal_assert(Iters >= 1);
+  // Warm-up run (page faults, thread pool spin-up).
+  CP.run(Params);
+  std::vector<double> Times;
+  Times.reserve(size_t(Iters));
+  for (int I = 0; I < Iters; ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    CP.run(Params);
+    auto End = std::chrono::steady_clock::now();
+    Times.push_back(
+        std::chrono::duration<double, std::milli>(End - Start).count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}

@@ -1,0 +1,187 @@
+//===-- runtime/Buffer.h - Image buffers ------------------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete image storage used at pipeline boundaries. RawBuffer is the
+/// type-erased descriptor (base pointer + per-dimension min/extent/stride)
+/// that compiled pipelines consume; Buffer<T> is the typed owner used by
+/// applications, examples, and tests. The innermost dimension always has
+/// stride 1 (scanline layout, paper section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_RUNTIME_BUFFER_H
+#define HALIDE_RUNTIME_BUFFER_H
+
+#include "ir/IROperators.h"
+#include "ir/Type.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace halide {
+
+/// Maximum buffer rank supported by the runtime ABI.
+constexpr int MaxBufferDims = 4;
+
+/// Geometry of one buffer dimension.
+struct BufferDim {
+  int32_t Min = 0;
+  int32_t Extent = 0;
+  int32_t Stride = 0;
+};
+
+/// Type-erased buffer descriptor: what compiled pipelines receive. Owner
+/// (when set) keeps the underlying storage alive for the descriptor's
+/// lifetime, so bindings can outlive the typed Buffer that created them.
+struct RawBuffer {
+  void *Host = nullptr;
+  Type ElemType;
+  int Dimensions = 0;
+  BufferDim Dim[MaxBufferDims];
+  std::shared_ptr<void> Owner;
+
+  bool defined() const { return Host != nullptr; }
+
+  /// Total number of elements covered by the extents.
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int I = 0; I < Dimensions; ++I)
+      N *= Dim[I].Extent;
+    return N;
+  }
+
+  /// Flat element offset of a coordinate (which must be in bounds).
+  int64_t offsetOf(const int *Coords, int NumCoords) const {
+    internal_assert(NumCoords == Dimensions) << "coordinate rank mismatch";
+    int64_t Off = 0;
+    for (int I = 0; I < Dimensions; ++I) {
+      internal_assert(Coords[I] >= Dim[I].Min &&
+                      Coords[I] < Dim[I].Min + Dim[I].Extent)
+          << "buffer access out of bounds in dim " << I << ": " << Coords[I];
+      Off += int64_t(Coords[I] - Dim[I].Min) * Dim[I].Stride;
+    }
+    return Off;
+  }
+};
+
+/// A typed, owning, reference-counted image buffer.
+template <typename T> class Buffer {
+public:
+  Buffer() = default;
+
+  /// Allocates a buffer of the given size with zeroed contents and dense
+  /// scanline layout (x stride 1, then y, then c, ...).
+  explicit Buffer(int W) { allocate({W}); }
+  Buffer(int W, int H) { allocate({W, H}); }
+  Buffer(int W, int H, int C) { allocate({W, H, C}); }
+  Buffer(int W, int H, int C, int K) { allocate({W, H, C, K}); }
+
+  bool defined() const { return Storage != nullptr; }
+  int dimensions() const { return Raw.Dimensions; }
+  int width() const { return Raw.Dimensions > 0 ? Raw.Dim[0].Extent : 0; }
+  int height() const { return Raw.Dimensions > 1 ? Raw.Dim[1].Extent : 1; }
+  int channels() const { return Raw.Dimensions > 2 ? Raw.Dim[2].Extent : 1; }
+  int minCoord(int D) const { return Raw.Dim[D].Min; }
+  int extent(int D) const { return Raw.Dim[D].Extent; }
+
+  /// Sets the logical minimum coordinate of each dimension (for computing
+  /// output sub-regions; extents are unchanged).
+  void setMin(int X, int Y = 0) {
+    Raw.Dim[0].Min = X;
+    if (Raw.Dimensions > 1)
+      Raw.Dim[1].Min = Y;
+  }
+
+  T *data() { return Storage->data(); }
+  const T *data() const { return Storage->data(); }
+
+  T &operator()(int X) { return at({X}); }
+  T &operator()(int X, int Y) { return at({X, Y}); }
+  T &operator()(int X, int Y, int C) { return at({X, Y, C}); }
+  T &operator()(int X, int Y, int C, int K) { return at({X, Y, C, K}); }
+  const T &operator()(int X) const { return at({X}); }
+  const T &operator()(int X, int Y) const { return at({X, Y}); }
+  const T &operator()(int X, int Y, int C) const { return at({X, Y, C}); }
+  const T &operator()(int X, int Y, int C, int K) const {
+    return at({X, Y, C, K});
+  }
+
+  /// The type-erased view handed to compiled pipelines.
+  const RawBuffer &raw() const { return Raw; }
+  RawBuffer &raw() { return Raw; }
+
+  /// Applies F(coords...) to every site, in planar order.
+  template <typename Fn> void fill(Fn &&F) {
+    int Coords[MaxBufferDims] = {0, 0, 0, 0};
+    fillDim(dimensions() - 1, Coords, F);
+  }
+
+  /// Sets every element to a constant.
+  void fillConstant(T Value) {
+    for (T &E : *Storage)
+      E = Value;
+  }
+
+private:
+  void allocate(std::initializer_list<int> Extents) {
+    internal_assert(Extents.size() >= 1 && Extents.size() <= MaxBufferDims)
+        << "buffers must have 1-4 dimensions";
+    Raw.Dimensions = int(Extents.size());
+    Raw.ElemType = typeOf<T>();
+    int64_t Count = 1;
+    int I = 0;
+    for (int E : Extents) {
+      Raw.Dim[I].Min = 0;
+      Raw.Dim[I].Extent = E;
+      Raw.Dim[I].Stride = int32_t(Count);
+      Count *= E;
+      ++I;
+    }
+    Storage = std::make_shared<std::vector<T>>(size_t(Count), T{});
+    Raw.Host = Storage->data();
+    Raw.Owner = Storage;
+  }
+
+  T &at(std::initializer_list<int> Coords) const {
+    int C[MaxBufferDims];
+    int I = 0;
+    for (int V : Coords)
+      C[I++] = V;
+    return (*Storage)[size_t(Raw.offsetOf(C, int(Coords.size())))];
+  }
+
+  RawBuffer Raw;
+  std::shared_ptr<std::vector<T>> Storage;
+
+  template <typename Fn> void fillDim(int D, int *Coords, Fn &&F) {
+    if (D < 0) {
+      applyFill(Coords, F);
+      return;
+    }
+    for (int I = 0; I < Raw.Dim[D].Extent; ++I) {
+      Coords[D] = Raw.Dim[D].Min + I;
+      fillDim(D - 1, Coords, F);
+    }
+  }
+
+  template <typename Fn> void applyFill(int *Coords, Fn &&F) {
+    T &Site = (*Storage)[size_t(Raw.offsetOf(Coords, Raw.Dimensions))];
+    if constexpr (std::is_invocable_v<Fn, int, int, int, int>)
+      Site = T(F(Coords[0], Coords[1], Coords[2], Coords[3]));
+    else if constexpr (std::is_invocable_v<Fn, int, int, int>)
+      Site = T(F(Coords[0], Coords[1], Coords[2]));
+    else if constexpr (std::is_invocable_v<Fn, int, int>)
+      Site = T(F(Coords[0], Coords[1]));
+    else
+      Site = T(F(Coords[0]));
+  }
+};
+
+} // namespace halide
+
+#endif // HALIDE_RUNTIME_BUFFER_H

@@ -1,0 +1,21 @@
+//===-- runtime/GpuSim.cpp -------------------------------------------------------=//
+
+#include "runtime/GpuSim.h"
+#include "runtime/ThreadPool.h"
+
+using namespace halide;
+
+void GpuSim::launch(int32_t Blocks, void (*Body)(int32_t, void *),
+                    void *Closure) {
+  ++Stats.KernelLaunches;
+  Stats.BlocksExecuted += Blocks;
+  // Blocks are data parallel; run them on the host pool, which stands in
+  // for the SM array. (With one hardware core this degrades gracefully to
+  // a serial sweep, preserving semantics.)
+  parallelFor(0, Blocks, Body, Closure);
+}
+
+GpuSim &halide::gpuSim() {
+  static GpuSim Device;
+  return Device;
+}

@@ -1,0 +1,147 @@
+//===-- runtime/ThreadPool.cpp --------------------------------------------------=//
+
+#include "runtime/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+/// A work-stealing-free, single-queue pool: simple and adequate for the
+/// coarse-grained loop tasks pipelines generate.
+class Pool {
+public:
+  static Pool &instance() {
+    static Pool P;
+    return P;
+  }
+
+  void run(int32_t Min, int32_t Extent, void (*Body)(int32_t, void *),
+           void *Closure) {
+    if (Extent <= 0)
+      return;
+    // Nested parallelism or a degenerate pool runs inline.
+    if (Extent == 1 || InWorker || Workers.empty()) {
+      for (int32_t I = 0; I < Extent; ++I)
+        Body(Min + I, Closure);
+      return;
+    }
+
+    Job TheJob;
+    TheJob.Min = Min;
+    TheJob.Extent = Extent;
+    TheJob.Body = Body;
+    TheJob.Closure = Closure;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      CurrentJob = &TheJob;
+      WorkAvailable.notify_all();
+    }
+    // The calling thread participates.
+    workOn(TheJob);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    JobDone.wait(Lock, [&] { return TheJob.Active == 0 &&
+                                    TheJob.NextIter >= TheJob.Extent; });
+    CurrentJob = nullptr;
+  }
+
+  int size() const { return int(Workers.size()) + 1; }
+
+  void resize(int Threads) {
+    shutdown();
+    start(Threads);
+  }
+
+private:
+  struct Job {
+    int32_t Min = 0, Extent = 0;
+    void (*Body)(int32_t, void *) = nullptr;
+    void *Closure = nullptr;
+    std::atomic<int32_t> NextIter{0};
+    std::atomic<int> Active{0};
+  };
+
+  Pool() { start(0); }
+  ~Pool() { shutdown(); }
+
+  void start(int Threads) {
+    if (Threads <= 0)
+      Threads = int(std::thread::hardware_concurrency());
+    if (Threads < 1)
+      Threads = 1;
+    Stop = false;
+    for (int I = 0; I < Threads - 1; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  void shutdown() {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Stop = true;
+      WorkAvailable.notify_all();
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    Workers.clear();
+  }
+
+  void workerLoop() {
+    InWorker = true;
+    while (true) {
+      Job *J = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WorkAvailable.wait(Lock, [&] { return Stop || CurrentJob; });
+        if (Stop)
+          return;
+        J = CurrentJob;
+      }
+      if (J)
+        workOn(*J);
+      // Avoid busy spinning on the same finished job.
+      std::this_thread::yield();
+    }
+  }
+
+  void workOn(Job &J) {
+    J.Active.fetch_add(1);
+    while (true) {
+      int32_t I = J.NextIter.fetch_add(1);
+      if (I >= J.Extent)
+        break;
+      J.Body(J.Min + I, J.Closure);
+    }
+    if (J.Active.fetch_sub(1) == 1) {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobDone.notify_all();
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable, JobDone;
+  Job *CurrentJob = nullptr;
+  bool Stop = false;
+  static thread_local bool InWorker;
+};
+
+thread_local bool Pool::InWorker = false;
+
+} // namespace
+
+void halide::parallelFor(int32_t Min, int32_t Extent,
+                         void (*Body)(int32_t, void *), void *Closure) {
+  Pool::instance().run(Min, Extent, Body, Closure);
+}
+
+int halide::threadPoolSize() { return Pool::instance().size(); }
+
+void halide::setThreadPoolSize(int Threads) {
+  Pool::instance().resize(Threads);
+}

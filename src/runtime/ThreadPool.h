@@ -1,0 +1,37 @@
+//===-- runtime/ThreadPool.h - Task-queue thread pool -----------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel-for runtime of paper section 4.6: parallel loops are
+/// lowered to a closure plus a body function taking one iteration index;
+/// iterations are enqueued onto a task queue consumed by a persistent
+/// thread pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_RUNTIME_THREADPOOL_H
+#define HALIDE_RUNTIME_THREADPOOL_H
+
+#include <cstdint>
+
+namespace halide {
+
+/// Runs Body(I, Closure) for every I in [Min, Min+Extent), distributing
+/// iterations over the pool. Safe to call from within a pool worker
+/// (nested parallelism runs the nested loop inline).
+void parallelFor(int32_t Min, int32_t Extent,
+                 void (*Body)(int32_t, void *), void *Closure);
+
+/// Number of worker threads in the pool.
+int threadPoolSize();
+
+/// Overrides the pool size (takes effect for subsequent parallelFor calls;
+/// 0 restores the hardware default). Used by benchmarks.
+void setThreadPoolSize(int Threads);
+
+} // namespace halide
+
+#endif // HALIDE_RUNTIME_THREADPOOL_H

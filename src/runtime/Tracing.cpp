@@ -1,0 +1,6 @@
+//===-- runtime/Tracing.cpp ------------------------------------------------------=//
+
+// ExecutionStats is header-only; this file anchors the translation unit so
+// the module appears in the library (and hosts future tracing hooks).
+
+#include "runtime/Tracing.h"

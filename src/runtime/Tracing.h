@@ -1,0 +1,59 @@
+//===-- runtime/Tracing.h - Execution counters ------------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named execution counters used by tests and benchmarks to observe
+/// recomputation (work amplification) and allocation behaviour without
+/// affecting compiled-code performance; the reference interpreter updates
+/// them on every store and allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_RUNTIME_TRACING_H
+#define HALIDE_RUNTIME_TRACING_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Counters gathered while executing a pipeline in the interpreter.
+struct ExecutionStats {
+  /// Number of values stored per buffer (pure + update writes).
+  std::map<std::string, int64_t> StoresPerBuffer;
+  /// Number of values loaded per buffer.
+  std::map<std::string, int64_t> LoadsPerBuffer;
+  /// Peak simultaneous internal allocation, in bytes.
+  int64_t PeakAllocationBytes = 0;
+  /// Current live internal allocation, in bytes.
+  int64_t CurrentAllocationBytes = 0;
+  /// Total loop iterations whose ForType was Parallel/GPU (a proxy for the
+  /// paper's "span" parallelism measure).
+  int64_t ParallelIterations = 0;
+  /// Maximum number of memory operations between a value being stored and
+  /// a later load of it, per buffer (Figure 3's "max reuse distance").
+  /// Only populated when reuse tracking is enabled.
+  std::map<std::string, int64_t> MaxReuseDistance;
+
+  int64_t totalStores() const {
+    int64_t Total = 0;
+    for (const auto &[Name, Count] : StoresPerBuffer)
+      Total += Count;
+    return Total;
+  }
+
+  void noteAllocation(int64_t Bytes) {
+    CurrentAllocationBytes += Bytes;
+    if (CurrentAllocationBytes > PeakAllocationBytes)
+      PeakAllocationBytes = CurrentAllocationBytes;
+  }
+  void noteFree(int64_t Bytes) { CurrentAllocationBytes -= Bytes; }
+};
+
+} // namespace halide
+
+#endif // HALIDE_RUNTIME_TRACING_H

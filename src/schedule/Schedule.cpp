@@ -1,0 +1,57 @@
+//===-- schedule/Schedule.cpp ------------------------------------------------=//
+
+#include "schedule/Schedule.h"
+#include "ir/IRPrinter.h"
+
+#include <sstream>
+
+using namespace halide;
+
+Dim *Schedule::findDim(const std::string &Var) {
+  for (Dim &D : Dims)
+    if (D.Var == Var)
+      return &D;
+  return nullptr;
+}
+
+const Dim *Schedule::findDim(const std::string &Var) const {
+  for (const Dim &D : Dims)
+    if (D.Var == Var)
+      return &D;
+  return nullptr;
+}
+
+std::string Schedule::str() const {
+  std::ostringstream OS;
+  OS << "compute_" << ComputeLevel.str() << " store_" << StoreLevel.str();
+  for (const Split &S : Splits)
+    OS << " split(" << S.Old << "," << S.Outer << "," << S.Inner << ","
+       << exprToString(S.Factor) << ")";
+  OS << " order(";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << Dims[I].Var;
+    switch (Dims[I].Kind) {
+    case ForType::Serial:
+      break;
+    case ForType::Parallel:
+      OS << ":par";
+      break;
+    case ForType::Vectorized:
+      OS << ":vec";
+      break;
+    case ForType::Unrolled:
+      OS << ":unroll";
+      break;
+    case ForType::GPUBlock:
+      OS << ":gpu_block";
+      break;
+    case ForType::GPUThread:
+      OS << ":gpu_thread";
+      break;
+    }
+  }
+  OS << ")";
+  return OS.str();
+}

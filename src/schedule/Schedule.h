@@ -1,0 +1,128 @@
+//===-- schedule/Schedule.h - The schedule representation -------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central artifact (section 3.2): a per-function description of
+/// (a) the domain order — how the required region of the function's domain
+/// is traversed: dimension order, splits, and serial / parallel /
+/// vectorized / unrolled / GPU markings — and (b) the call schedule — the
+/// loop levels of the consuming pipeline at which the function's values are
+/// computed and stored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_SCHEDULE_SCHEDULE_H
+#define HALIDE_SCHEDULE_SCHEDULE_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// One application of the split transformation: Old is replaced by
+/// Outer * Factor + Inner. Splits apply in order, so outer/inner names can
+/// themselves be split again (recursive tiling, paper section 3.2).
+struct Split {
+  std::string Old, Outer, Inner;
+  Expr Factor;
+};
+
+/// One loop in a function's domain order, outermost-first in
+/// Schedule::Dims. Pure dimensions may take any ForType; reduction
+/// dimensions must stay serial unless the update is associative.
+struct Dim {
+  std::string Var;
+  ForType Kind = ForType::Serial;
+  bool IsRVar = false;
+};
+
+/// A point in the loop nest of the pipeline: where a function is computed
+/// or stored (the call schedule). "Inlined" means compute at every use
+/// site; "Root" is the paper's coarsest granularity, outside all loops.
+class LoopLevel {
+public:
+  enum class Kind : uint8_t { Inlined, Root, At };
+
+  LoopLevel() = default;
+
+  static LoopLevel inlined() { return LoopLevel(Kind::Inlined, "", ""); }
+  static LoopLevel root() { return LoopLevel(Kind::Root, "", ""); }
+  static LoopLevel at(const std::string &FuncName,
+                      const std::string &VarName) {
+    return LoopLevel(Kind::At, FuncName, VarName);
+  }
+
+  bool isInlined() const { return LevelKind == Kind::Inlined; }
+  bool isRoot() const { return LevelKind == Kind::Root; }
+  bool isAt() const { return LevelKind == Kind::At; }
+
+  const std::string &funcName() const { return FuncName; }
+  const std::string &varName() const { return VarName; }
+
+  /// The fully qualified loop name this level refers to ("func.var").
+  std::string loopName() const {
+    internal_assert(isAt()) << "loopName of non-At LoopLevel";
+    return FuncName + "." + VarName;
+  }
+
+  bool operator==(const LoopLevel &Other) const {
+    return LevelKind == Other.LevelKind && FuncName == Other.FuncName &&
+           VarName == Other.VarName;
+  }
+
+  std::string str() const {
+    if (isInlined())
+      return "inlined";
+    if (isRoot())
+      return "root";
+    return FuncName + "." + VarName;
+  }
+
+private:
+  LoopLevel(Kind K, std::string FuncName, std::string VarName)
+      : LevelKind(K), FuncName(std::move(FuncName)),
+        VarName(std::move(VarName)) {}
+
+  Kind LevelKind = Kind::Inlined;
+  std::string FuncName, VarName;
+};
+
+/// An optional programmer-supplied bound on a pure dimension (the paper's
+/// "optional bounds annotations", section 5), also used to bound output
+/// dimensions like color channels.
+struct BoundConstraint {
+  std::string Var;
+  Expr Min, Extent;
+};
+
+/// The complete schedule for one function (pure definition). Update
+/// definitions carry their own Dims in the Function.
+struct Schedule {
+  std::vector<Split> Splits;
+  /// Loop order, outermost first. Initialized by Function::define to the
+  /// pure args in order (row-major: last arg outermost).
+  std::vector<Dim> Dims;
+  LoopLevel ComputeLevel = LoopLevel::inlined();
+  LoopLevel StoreLevel = LoopLevel::inlined();
+  std::vector<BoundConstraint> Bounds;
+
+  /// Returns the Dim entry for \p Var, or null.
+  Dim *findDim(const std::string &Var);
+  const Dim *findDim(const std::string &Var) const;
+
+  /// True if \p Var names a dimension in the current loop order.
+  bool hasDim(const std::string &Var) const { return findDim(Var) != nullptr; }
+
+  /// Renders the schedule as a short human-readable description (used by
+  /// the autotuner's logs and EXPERIMENTS.md).
+  std::string str() const;
+};
+
+} // namespace halide
+
+#endif // HALIDE_SCHEDULE_SCHEDULE_H

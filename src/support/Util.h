@@ -1,0 +1,150 @@
+//===-- support/Util.h - Common utilities and error handling ---*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small support utilities shared by every layer of the compiler: streaming
+/// assertion macros (the project builds without exceptions in the spirit of
+/// the LLVM coding standards), unique name generation for compiler-created
+/// variables, and string helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_SUPPORT_UTIL_H
+#define HALIDE_SUPPORT_UTIL_H
+
+#include <cassert>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// Accumulates an error message via operator<< and aborts the process when
+/// destroyed. Used through the internal_assert / user_assert macros below so
+/// that error sites read like LLVM's `assert(X && "msg")` but can embed
+/// dynamic values.
+class ErrorReport {
+public:
+  ErrorReport(const char *File, int Line, const char *CondString, bool IsUser);
+  [[noreturn]] ~ErrorReport();
+
+  template <typename T> ErrorReport &operator<<(const T &Value) {
+    Msg << Value;
+    return *this;
+  }
+
+private:
+  std::ostringstream Msg;
+};
+
+/// A do-nothing sink so that passing asserts compile away to a dead branch.
+class ErrorSink {
+public:
+  template <typename T> ErrorSink &operator<<(const T &) { return *this; }
+};
+
+} // namespace halide
+
+/// Check an invariant of the compiler itself. Failure indicates a bug in
+/// this repository, not in user code.
+#define internal_assert(c)                                                     \
+  if (c)                                                                       \
+    ;                                                                          \
+  else                                                                         \
+    ::halide::ErrorReport(__FILE__, __LINE__, #c, false)
+
+/// Check a constraint on user input (malformed pipelines, bad schedules).
+#define user_assert(c)                                                         \
+  if (c)                                                                       \
+    ;                                                                          \
+  else                                                                         \
+    ::halide::ErrorReport(__FILE__, __LINE__, #c, true)
+
+/// Report an unconditional internal error.
+#define internal_error ::halide::ErrorReport(__FILE__, __LINE__, nullptr, false)
+/// Report an unconditional user-facing error.
+#define user_error ::halide::ErrorReport(__FILE__, __LINE__, nullptr, true)
+
+namespace halide {
+
+/// Returns a process-unique name derived from \p Prefix, used for
+/// compiler-generated variables and functions. Thread-compatible: lowering
+/// runs single-threaded.
+std::string uniqueName(const std::string &Prefix);
+
+/// Resets the unique-name counters. Only tests should call this, to make
+/// golden-text comparisons deterministic.
+void resetUniqueNameCounters();
+
+/// Returns true if \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+/// Returns true if \p Str ends with \p Suffix.
+bool endsWith(const std::string &Str, const std::string &Suffix);
+
+/// Splits \p Str on character \p Sep. An empty string yields no tokens.
+std::vector<std::string> splitString(const std::string &Str, char Sep);
+
+/// Replaces every occurrence of \p From in \p Str with \p To.
+std::string replaceAll(std::string Str, const std::string &From,
+                       const std::string &To);
+
+/// Intrusively reference-counted smart pointer, in the style of
+/// llvm::IntrusiveRefCntPtr. The pointee exposes a mutable `RefCount` int.
+/// Refcounting is not atomic: IR construction and transformation run on a
+/// single thread; only execution of compiled pipelines is parallel, and
+/// compiled pipelines do not touch the IR.
+template <typename T> class IntrusivePtr {
+public:
+  IntrusivePtr() = default;
+  IntrusivePtr(T *P) : Ptr(P) { incref(); }
+  IntrusivePtr(const IntrusivePtr &Other) : Ptr(Other.Ptr) { incref(); }
+  IntrusivePtr(IntrusivePtr &&Other) noexcept : Ptr(Other.Ptr) {
+    Other.Ptr = nullptr;
+  }
+  ~IntrusivePtr() { decref(); }
+
+  IntrusivePtr &operator=(const IntrusivePtr &Other) {
+    // Increment first so self-assignment is safe.
+    T *OldPtr = Ptr;
+    Ptr = Other.Ptr;
+    incref();
+    if (OldPtr && --OldPtr->RefCount == 0)
+      delete OldPtr;
+    return *this;
+  }
+
+  IntrusivePtr &operator=(IntrusivePtr &&Other) noexcept {
+    std::swap(Ptr, Other.Ptr);
+    return *this;
+  }
+
+  T *get() const { return Ptr; }
+  T *operator->() const { return Ptr; }
+  T &operator*() const { return *Ptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  bool sameAs(const IntrusivePtr &Other) const { return Ptr == Other.Ptr; }
+
+private:
+  void incref() {
+    if (Ptr)
+      ++Ptr->RefCount;
+  }
+  void decref() {
+    if (Ptr && --Ptr->RefCount == 0) {
+      delete Ptr;
+      Ptr = nullptr;
+    }
+  }
+
+  T *Ptr = nullptr;
+};
+
+} // namespace halide
+
+#endif // HALIDE_SUPPORT_UTIL_H

@@ -1,0 +1,240 @@
+//===-- transforms/BoundsInference.cpp ------------------------------------------=//
+
+#include "transforms/BoundsInference.h"
+#include "analysis/Bounds.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+#include "transforms/ScheduleFunctions.h"
+#include "transforms/Simplify.h"
+#include "transforms/Substitute.h"
+
+using namespace halide;
+
+namespace {
+
+/// Finds the unique produce / consume ProducerConsumer nodes for a name.
+class FindProduceConsume : public IRVisitor {
+public:
+  explicit FindProduceConsume(const std::string &Name) : Name(Name) {}
+
+  Stmt Produce, Consume;
+
+  void visit(const ProducerConsumer *Op) override {
+    if (Op->Name == Name) {
+      if (Op->IsProducer) {
+        internal_assert(!Produce.defined())
+            << "multiple produce nodes for " << Name;
+        Produce = Stmt(Op);
+      } else {
+        internal_assert(!Consume.defined())
+            << "multiple consume nodes for " << Name;
+        Consume = Stmt(Op);
+      }
+      // Do not recurse into this function's own nodes looking for more of
+      // them, but do recurse for nested content.
+    }
+    IRVisitor::visit(Op);
+  }
+
+private:
+  const std::string &Name;
+};
+
+/// Collects the For loops and LetStmts on the path from a statement down to
+/// the produce node of a name (the "intervening" loops between the storage
+/// and compute levels).
+class PathToProduce : public IRVisitor {
+public:
+  explicit PathToProduce(const std::string &Name) : Name(Name) {}
+
+  /// Loop-name -> interval, plus let bounds, accumulated along the path.
+  Scope<Interval> PathScope;
+  /// The serial loops on the path, outermost first (used by the sliding
+  /// window pass via a similar walk; collected here for assertions).
+  std::vector<const For *> PathLoops;
+  bool Found = false;
+
+  void visit(const ProducerConsumer *Op) override {
+    if (Op->Name == Name && Op->IsProducer) {
+      Found = true;
+      return;
+    }
+    if (!Found)
+      IRVisitor::visit(Op);
+  }
+
+  void visit(const For *Op) override {
+    if (Found)
+      return;
+    // Does this subtree contain the produce node?
+    FindProduceConsume Finder(Name);
+    Op->Body.accept(&Finder);
+    if (!Finder.Produce.defined())
+      return; // not on the path
+    Interval MinB = boundsOfExprInScope(Op->MinExpr, PathScope);
+    Interval ExtB = boundsOfExprInScope(Op->Extent, PathScope);
+    Interval LoopRange;
+    LoopRange.Min = MinB.Min;
+    if (MinB.hasUpperBound() && ExtB.hasUpperBound())
+      LoopRange.Max = simplify(MinB.Max + ExtB.Max - 1);
+    PathScope.push(Op->Name, LoopRange);
+    PathLoops.push_back(Op);
+    Op->Body.accept(this);
+  }
+
+  void visit(const LetStmt *Op) override {
+    if (Found)
+      return;
+    FindProduceConsume Finder(Name);
+    Op->Body.accept(&Finder);
+    if (!Finder.Produce.defined()) {
+      return;
+    }
+    PathScope.push(Op->Name, boundsOfExprInScope(Op->Value, PathScope));
+    Op->Body.accept(this);
+  }
+
+private:
+  const std::string &Name;
+};
+
+/// Wraps the produce node for \p Name in the given LetStmts.
+class WrapProduce : public IRMutator {
+public:
+  WrapProduce(const std::string &Name, std::vector<std::pair<std::string, Expr>> Lets)
+      : Name(Name), Lets(std::move(Lets)) {}
+
+protected:
+  Stmt visit(const ProducerConsumer *Op) override {
+    if (Op->Name != Name || !Op->IsProducer)
+      return IRMutator::visit(Op);
+    Stmt Result = Stmt(Op);
+    for (size_t I = Lets.size(); I-- > 0;)
+      Result = LetStmt::make(Lets[I].first, Lets[I].second, Result);
+    return Result;
+  }
+
+private:
+  const std::string &Name;
+  std::vector<std::pair<std::string, Expr>> Lets;
+};
+
+class BoundsInferencePass : public IRMutator {
+public:
+  explicit BoundsInferencePass(const std::map<std::string, Function> &Env)
+      : Env(Env) {}
+
+protected:
+  Stmt visit(const Realize *Op) override {
+    // Consumers first: process realizations nested inside this one so that
+    // their bounds lets are in place before we analyze this stage.
+    Stmt Body = mutate(Op->Body);
+
+    auto It = Env.find(Op->Name);
+    internal_assert(It != Env.end())
+        << "realize of unknown function " << Op->Name;
+    const Function &F = It->second;
+    int Rank = F.dimensions();
+
+    FindProduceConsume Finder(Op->Name);
+    Body.accept(&Finder);
+    internal_assert(Finder.Produce.defined() && Finder.Consume.defined())
+        << "realize of " << Op->Name << " missing produce/consume nodes";
+
+    // Region required by consumers (paper: "the region produced of each
+    // stage [must] be at least as large as the region consumed by
+    // subsequent stages").
+    Scope<Interval> Empty;
+    Box Consumer = boxRequired(Finder.Consume.as<ProducerConsumer>()->Body,
+                               Op->Name, Empty);
+    internal_assert(int(Consumer.size()) == Rank ||
+                    Consumer.empty())
+        << "consumer box of " << Op->Name << " has wrong rank";
+
+    // Region touched by the function's own update stages (scatters and
+    // recursive reads), expressed in terms of the still-symbolic required
+    // region; resolved by substituting the consumer box.
+    Box Self = boxesTouched(Finder.Produce, Empty, /*IncludeCalls=*/true,
+                            /*IncludeProvides=*/true)[Op->Name];
+
+    std::vector<std::pair<std::string, Expr>> Lets;
+    std::vector<Expr> MinExprs(Rank), MaxExprs(Rank);
+    std::map<std::string, Expr> SelfSubstitution;
+    for (int D = 0; D < Rank; ++D) {
+      internal_assert(D < int(Consumer.size()) &&
+                      Consumer[D].isBounded())
+          << "bounds inference: required region of " << Op->Name
+          << " dimension " << D
+          << " is unbounded; clamp data-dependent coordinates";
+      MinExprs[D] = simplify(Consumer[D].Min);
+      MaxExprs[D] = simplify(Consumer[D].Max);
+      SelfSubstitution[funcMinName(Op->Name, D)] = MinExprs[D];
+      SelfSubstitution[funcExtentName(Op->Name, D)] =
+          simplify(MaxExprs[D] - MinExprs[D] + 1);
+    }
+    if (!Self.empty()) {
+      internal_assert(int(Self.size()) == Rank);
+      for (int D = 0; D < Rank; ++D) {
+        internal_assert(Self[D].isBounded())
+            << "bounds inference: self region of " << Op->Name
+            << " dimension " << D << " is unbounded";
+        Expr SelfMin =
+            simplify(substitute(SelfSubstitution, Self[D].Min));
+        Expr SelfMax =
+            simplify(substitute(SelfSubstitution, Self[D].Max));
+        MinExprs[D] = simplify(min(MinExprs[D], SelfMin));
+        MaxExprs[D] = simplify(max(MaxExprs[D], SelfMax));
+      }
+    }
+    for (int D = 0; D < Rank; ++D) {
+      // Programmer-declared bounds override inference for this dimension.
+      for (const BoundConstraint &BC : F.schedule().Bounds) {
+        if (BC.Var == F.args()[D]) {
+          MinExprs[D] = BC.Min;
+          MaxExprs[D] = simplify(BC.Min + BC.Extent - 1);
+        }
+      }
+      Lets.emplace_back(funcMinName(Op->Name, D), MinExprs[D]);
+      Lets.emplace_back(funcExtentName(Op->Name, D),
+                        simplify(MaxExprs[D] - MinExprs[D] + 1));
+    }
+
+    WrapProduce Wrapper(Op->Name, Lets);
+    Body = Wrapper.mutate(Body);
+
+    // Allocation bounds: the compute-site region bounded over the loops
+    // between the storage level (here) and the compute level, with the
+    // extent rounded up to the traversed extent of split dimensions.
+    PathToProduce Path(Op->Name);
+    Body.accept(&Path);
+    internal_assert(Path.Found) << "lost produce node for " << Op->Name;
+    Region RealizeBounds;
+    for (int D = 0; D < Rank; ++D) {
+      Interval MinB = boundsOfExprInScope(MinExprs[D], Path.PathScope);
+      Interval MaxB = boundsOfExprInScope(MaxExprs[D], Path.PathScope);
+      internal_assert(MinB.hasLowerBound() && MaxB.hasUpperBound())
+          << "allocation bounds of " << Op->Name << " dimension " << D
+          << " are unbounded over the loops between store and compute "
+             "levels";
+      Expr AllocMin = simplify(MinB.Min);
+      Expr RequiredExtent = simplify(MaxB.Max - MinB.Min + 1);
+      Expr AllocExtent = simplify(writtenExtent(F, D, RequiredExtent));
+      RealizeBounds.emplace_back(AllocMin, AllocExtent);
+    }
+    return Realize::make(Op->Name, Op->ElemType, std::move(RealizeBounds),
+                         Body);
+  }
+
+private:
+  const std::map<std::string, Function> &Env;
+};
+
+} // namespace
+
+Stmt halide::boundsInference(const Stmt &S,
+                             const std::map<std::string, Function> &Env) {
+  BoundsInferencePass Pass(Env);
+  return Pass.mutate(S);
+}

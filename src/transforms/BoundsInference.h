@@ -1,0 +1,40 @@
+//===-- transforms/BoundsInference.h - Region inference ---------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounds inference (paper section 4.2): for every Realize node, computes
+/// the region of the function required by its consumers (plus the region its
+/// own update stages touch) using interval analysis, and injects LetStmt
+/// preambles defining "f.min.d" / "f.extent.d" at the produce site. Realize
+/// bounds (the allocation) are the compute-site region bounded over the
+/// loops between the storage and compute levels, with split dimensions
+/// rounded up to the traversed (written) extent.
+///
+/// Stages are processed consumers-first (inner realizations before outer
+/// ones), so each stage's bounds expressions resolve against lets already
+/// placed in the tree — ultimately bottoming out at the output buffer's
+/// size, which is all the generated bounds depend on (section 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_BOUNDSINFERENCE_H
+#define HALIDE_TRANSFORMS_BOUNDSINFERENCE_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Runs bounds inference over the scheduled pipeline statement. \p Env maps
+/// function names to Functions (for split/roundup information).
+Stmt boundsInference(const Stmt &S,
+                     const std::map<std::string, Function> &Env);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_BOUNDSINFERENCE_H

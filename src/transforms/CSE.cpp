@@ -1,0 +1,162 @@
+//===-- transforms/CSE.cpp ------------------------------------------------------=//
+
+#include "transforms/CSE.h"
+#include "ir/IREquality.h"
+#include "ir/IRMutator.h"
+#include "ir/IRVisitor.h"
+
+#include <map>
+
+using namespace halide;
+
+namespace {
+
+/// Is it worth giving this expression a name? Leaves and casts of leaves
+/// are cheaper to recompute than to bind.
+bool isNontrivial(const Expr &E) {
+  switch (E->Kind) {
+  case IRNodeKind::IntImm:
+  case IRNodeKind::UIntImm:
+  case IRNodeKind::FloatImm:
+  case IRNodeKind::StringImm:
+  case IRNodeKind::Variable:
+  case IRNodeKind::Broadcast:
+  case IRNodeKind::Ramp:
+    return false;
+  case IRNodeKind::Cast:
+    return isNontrivial(E.as<Cast>()->Value);
+  default:
+    return true;
+  }
+}
+
+/// Counts structural occurrences of every subexpression.
+class OccurrenceCounter : public IRVisitor {
+public:
+  std::map<Expr, int, ExprCompare> Counts;
+
+  void countExpr(const Expr &E) {
+    if (!isNontrivial(E)) {
+      // still recurse into children
+      E.accept(this);
+      return;
+    }
+    int &C = Counts[E];
+    ++C;
+    // Only recurse the first time: children of repeated expressions are
+    // counted once per unique parent occurrence being materialized.
+    if (C == 1)
+      E.accept(this);
+  }
+
+  void visit(const Cast *Op) override { countExpr(Op->Value); }
+  void visit(const Add *Op) override { countBinary(Op); }
+  void visit(const Sub *Op) override { countBinary(Op); }
+  void visit(const Mul *Op) override { countBinary(Op); }
+  void visit(const Div *Op) override { countBinary(Op); }
+  void visit(const Mod *Op) override { countBinary(Op); }
+  void visit(const Min *Op) override { countBinary(Op); }
+  void visit(const Max *Op) override { countBinary(Op); }
+  void visit(const EQ *Op) override { countBinary(Op); }
+  void visit(const NE *Op) override { countBinary(Op); }
+  void visit(const LT *Op) override { countBinary(Op); }
+  void visit(const LE *Op) override { countBinary(Op); }
+  void visit(const GT *Op) override { countBinary(Op); }
+  void visit(const GE *Op) override { countBinary(Op); }
+  void visit(const And *Op) override { countBinary(Op); }
+  void visit(const Or *Op) override { countBinary(Op); }
+  void visit(const Not *Op) override { countExpr(Op->A); }
+  void visit(const Select *Op) override {
+    countExpr(Op->Condition);
+    countExpr(Op->TrueValue);
+    countExpr(Op->FalseValue);
+  }
+  void visit(const Load *Op) override { countExpr(Op->Index); }
+  void visit(const Call *Op) override {
+    for (const Expr &Arg : Op->Args)
+      countExpr(Arg);
+  }
+
+private:
+  template <typename T> void countBinary(const T *Op) {
+    countExpr(Op->A);
+    countExpr(Op->B);
+  }
+};
+
+/// Replaces counted-repeated subexpressions with variables, collecting the
+/// bindings (in dependency order: inner expressions first).
+class Replacer : public IRMutator {
+public:
+  Replacer(const std::map<Expr, int, ExprCompare> &Counts) : Counts(Counts) {}
+
+  std::vector<std::pair<std::string, Expr>> Bindings;
+
+  Expr mutate(const Expr &E) override {
+    if (!E.defined())
+      return E;
+    if (isNontrivial(E)) {
+      auto It = Counts.find(E);
+      if (It != Counts.end() && It->second > 1) {
+        auto Cached = Replacements.find(E);
+        if (Cached != Replacements.end())
+          return Cached->second;
+        Expr Inner = IRMutator::mutate(E); // CSE children first
+        std::string Name = uniqueName("cse$");
+        Bindings.emplace_back(Name, Inner);
+        Expr Var = Variable::make(E.type(), Name);
+        Replacements[E] = Var;
+        return Var;
+      }
+    }
+    return IRMutator::mutate(E);
+  }
+
+private:
+  const std::map<Expr, int, ExprCompare> &Counts;
+  std::map<Expr, Expr, ExprCompare> Replacements;
+};
+
+Expr cseOne(const Expr &E) {
+  OccurrenceCounter Counter;
+  Counter.countExpr(E);
+  bool AnyRepeated = false;
+  for (const auto &[Sub, Count] : Counter.Counts)
+    if (Count > 1)
+      AnyRepeated = true;
+  if (!AnyRepeated)
+    return E;
+  Replacer R(Counter.Counts);
+  Expr Result = R.mutate(E);
+  for (size_t I = R.Bindings.size(); I-- > 0;)
+    Result = Let::make(R.Bindings[I].first, R.Bindings[I].second, Result);
+  return Result;
+}
+
+/// Applies CSE to the value/index expressions of leaf statements.
+class CSEStmt : public IRMutator {
+protected:
+  Stmt visit(const Store *Op) override {
+    Expr Value = cseOne(Op->Value);
+    Expr Index = cseOne(Op->Index);
+    if (Value.sameAs(Op->Value) && Index.sameAs(Op->Index))
+      return Op;
+    return Store::make(Op->Name, Value, Index);
+  }
+
+  Stmt visit(const Evaluate *Op) override {
+    Expr Value = cseOne(Op->Value);
+    if (Value.sameAs(Op->Value))
+      return Op;
+    return Evaluate::make(Value);
+  }
+};
+
+} // namespace
+
+Expr halide::cseExpr(const Expr &E) { return cseOne(E); }
+
+Stmt halide::cse(const Stmt &S) {
+  CSEStmt Pass;
+  return Pass.mutate(S);
+}

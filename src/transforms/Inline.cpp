@@ -1,0 +1,53 @@
+//===-- transforms/Inline.cpp ---------------------------------------------------=//
+
+#include "transforms/Inline.h"
+#include "ir/IRMutator.h"
+#include "transforms/Substitute.h"
+
+using namespace halide;
+
+bool halide::isInlined(const Function &F) {
+  return F.schedule().ComputeLevel.isInlined() && !F.hasUpdateDefinition();
+}
+
+namespace {
+
+class Inliner : public IRMutator {
+public:
+  explicit Inliner(const std::map<std::string, Function> &Env) : Env(Env) {}
+
+protected:
+  Expr visit(const Call *Op) override {
+    if (Op->CallKind != CallType::Halide)
+      return IRMutator::visit(Op);
+    auto It = Env.find(Op->Name);
+    if (It == Env.end() || !isInlined(It->second))
+      return IRMutator::visit(Op);
+
+    const Function &F = It->second;
+    internal_assert(Op->Args.size() == F.args().size())
+        << "call to " << Op->Name << " with wrong arity";
+    std::map<std::string, Expr> Bindings;
+    for (size_t I = 0; I < Op->Args.size(); ++I)
+      Bindings[F.args()[I]] = mutate(Op->Args[I]);
+    // The inlined body may itself call inlined functions: keep mutating.
+    return mutate(substitute(Bindings, F.value()));
+  }
+
+private:
+  const std::map<std::string, Function> &Env;
+};
+
+} // namespace
+
+Stmt halide::inlineCalls(const Stmt &S,
+                         const std::map<std::string, Function> &Env) {
+  Inliner I(Env);
+  return I.mutate(S);
+}
+
+Expr halide::inlineCalls(const Expr &E,
+                         const std::map<std::string, Function> &Env) {
+  Inliner I(Env);
+  return I.mutate(E);
+}

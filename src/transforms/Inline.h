@@ -1,0 +1,35 @@
+//===-- transforms/Inline.h - Inline scheduled-inline functions -*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces calls to functions whose call schedule is "inlined" (the paper's
+/// total fusion / fine-grain interleaving without storage) with their
+/// definitions, substituting call arguments for pure variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_INLINE_H
+#define HALIDE_TRANSFORMS_INLINE_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// True if \p F is scheduled to be inlined into its consumers. Functions
+/// with update definitions have state and are never inlined.
+bool isInlined(const Function &F);
+
+/// Substitutes the bodies of all inlined functions for their calls,
+/// repeatedly, until no calls to inlined functions remain.
+Stmt inlineCalls(const Stmt &S, const std::map<std::string, Function> &Env);
+Expr inlineCalls(const Expr &E, const std::map<std::string, Function> &Env);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_INLINE_H

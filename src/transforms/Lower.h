@@ -1,0 +1,69 @@
+//===-- transforms/Lower.h - The lowering driver ----------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full compilation of a scheduled pipeline into an imperative
+/// statement, in the paper's pass order (Figure 5): loop synthesis, bounds
+/// inference, sliding window optimization and storage folding, flattening,
+/// vectorization and unrolling, then simplification. The result plus its
+/// argument signature is what the back ends consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_LOWER_H
+#define HALIDE_TRANSFORMS_LOWER_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// A buffer argument of the compiled pipeline.
+struct BufferArg {
+  std::string Name;
+  Type ElemType;
+  int Dimensions = 0;
+  bool IsOutput = false;
+};
+
+/// A scalar argument of the compiled pipeline.
+struct ScalarArg {
+  std::string Name;
+  Type ArgType;
+};
+
+/// Options controlling lowering.
+struct LowerOptions {
+  /// Skip the sliding window optimization (for ablation benchmarks).
+  bool DisableSlidingWindow = false;
+  /// Skip storage folding (for ablation benchmarks).
+  bool DisableStorageFolding = false;
+};
+
+/// A fully lowered pipeline: the statement plus its argument signature.
+struct LoweredPipeline {
+  std::string Name;
+  Function Output;
+  Stmt Body;
+  /// Buffer arguments: the output buffer first, then input images in name
+  /// order. Metadata parameters "<name>.min.<d>" / ".extent.<d>" /
+  /// ".stride.<d>" are bound from these buffers.
+  std::vector<BufferArg> Buffers;
+  /// User scalar parameters, in name order.
+  std::vector<ScalarArg> Scalars;
+  std::map<std::string, Function> Env;
+};
+
+/// Lowers the pipeline producing \p Output.
+LoweredPipeline lower(const Function &Output,
+                      const LowerOptions &Opts = LowerOptions());
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_LOWER_H

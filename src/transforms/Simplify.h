@@ -1,0 +1,43 @@
+//===-- transforms/Simplify.h - Algebraic simplification --------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic simplifier (paper section 4.6: "constant-folding ... which
+/// also performs symbolic simplification of common patterns produced by
+/// bounds inference"). Integer scalar arithmetic is canonicalized as a
+/// linear combination of atomic terms, which makes region arithmetic like
+/// `(y*8 + 7) - (y*8) + 1` collapse to constants — the property that
+/// sliding-window and storage-folding legality checks rely on.
+///
+/// Index arithmetic is assumed not to overflow (the same assumption the
+/// paper's compiler makes for Int(32) coordinates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_SIMPLIFY_H
+#define HALIDE_TRANSFORMS_SIMPLIFY_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Simplifies an expression.
+Expr simplify(const Expr &E);
+
+/// Simplifies every expression in a statement, removes trivially-dead code
+/// (zero-extent loops, if(false) arms), and drops unused lets.
+Stmt simplify(const Stmt &S);
+
+/// Returns true if \p E provably evaluates to a constant true / false.
+bool isProvablyTrue(const Expr &E);
+bool isProvablyFalse(const Expr &E);
+
+/// If simplify(E) is an integer constant, stores it and returns true.
+bool proveConstInt(const Expr &E, int64_t *Value);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_SIMPLIFY_H

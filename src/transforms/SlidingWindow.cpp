@@ -1,0 +1,222 @@
+//===-- transforms/SlidingWindow.cpp --------------------------------------------=//
+
+#include "transforms/SlidingWindow.h"
+#include "analysis/Monotonic.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+#include "ir/IRVisitor.h"
+#include "transforms/ScheduleFunctions.h"
+#include "transforms/Simplify.h"
+#include "transforms/Substitute.h"
+
+using namespace halide;
+
+namespace {
+
+/// Rewrites the bounds lets ("f.min.d" / "f.extent.d") above the produce
+/// node of one function to exclude the region computed by previous
+/// iterations of a given serial loop.
+class SlideAlongLoop : public IRMutator {
+public:
+  SlideAlongLoop(const std::string &FuncName, int Rank,
+                 const std::string &LoopVar, Expr LoopMin)
+      : FuncName(FuncName), Rank(Rank), LoopVar(LoopVar), LoopMin(LoopMin) {}
+
+  bool Applied = false;
+
+protected:
+  Stmt visit(const LetStmt *Op) override {
+    // We are looking for the chain of lets directly wrapping the produce
+    // node. Collect the whole chain, then decide.
+    if (!startsWith(Op->Name, FuncName + ".min.") &&
+        !startsWith(Op->Name, FuncName + ".extent."))
+      return IRMutator::visit(Op);
+
+    // Gather the full let chain and the statement under it.
+    std::vector<std::pair<std::string, Expr>> Chain;
+    Stmt Inner(Op);
+    while (const LetStmt *L = Inner.as<LetStmt>()) {
+      if (!startsWith(L->Name, FuncName + ".min.") &&
+          !startsWith(L->Name, FuncName + ".extent."))
+        break;
+      Chain.emplace_back(L->Name, L->Value);
+      Inner = L->Body;
+    }
+    const ProducerConsumer *PC = Inner.as<ProducerConsumer>();
+    if (!PC || PC->Name != FuncName || !PC->IsProducer)
+      return IRMutator::visit(Op);
+
+    // Reconstruct min/extent expressions per dimension.
+    std::vector<Expr> Mins(Rank), Extents(Rank);
+    for (const auto &[Name, Value] : Chain) {
+      for (int D = 0; D < Rank; ++D) {
+        if (Name == funcMinName(FuncName, D))
+          Mins[D] = Value;
+        if (Name == funcExtentName(FuncName, D))
+          Extents[D] = Value;
+      }
+    }
+    for (int D = 0; D < Rank; ++D)
+      if (!Mins[D].defined() || !Extents[D].defined())
+        return IRMutator::visit(Op);
+
+    // Find the single dimension that marches with the loop; all others must
+    // be loop-invariant for the rewrite to be sound.
+    int SlideDim = -1;
+    for (int D = 0; D < Rank; ++D) {
+      Monotonic MinMono = isMonotonic(Mins[D], LoopVar);
+      Monotonic MaxMono =
+          isMonotonic(simplify(Mins[D] + Extents[D] - 1), LoopVar);
+      if (MinMono == Monotonic::Constant && MaxMono == Monotonic::Constant)
+        continue;
+      if (MinMono == Monotonic::Increasing &&
+          MaxMono == Monotonic::Increasing && SlideDim < 0) {
+        SlideDim = D;
+        continue;
+      }
+      return IRMutator::visit(Op); // some dimension moves unpredictably
+    }
+    if (SlideDim < 0)
+      return IRMutator::visit(Op);
+
+    // New minimum: skip everything computed by the previous iteration. The
+    // first iteration computes the full region (select on LoopVar==LoopMin).
+    Expr OldMin = Mins[SlideDim];
+    Expr OldMax = simplify(OldMin + Extents[SlideDim] - 1);
+    Expr PrevMax = substitute(
+        LoopVar, Variable::make(Int(32), LoopVar) - 1, OldMax);
+    Expr LoopVarExpr = Variable::make(Int(32), LoopVar);
+    Expr NewMin = select(LoopVarExpr == LoopMin, OldMin,
+                         max(OldMin, PrevMax + 1));
+    Expr NewExtent = simplify(OldMax - NewMin + 1);
+
+    std::vector<std::pair<std::string, Expr>> NewChain = Chain;
+    for (auto &[Name, Value] : NewChain) {
+      if (Name == funcMinName(FuncName, SlideDim))
+        Value = NewMin;
+      if (Name == funcExtentName(FuncName, SlideDim))
+        Value = NewExtent;
+    }
+    Applied = true;
+    Stmt Result = Inner;
+    for (size_t I = NewChain.size(); I-- > 0;)
+      Result = LetStmt::make(NewChain[I].first, NewChain[I].second, Result);
+    return Result;
+  }
+
+private:
+  std::string FuncName;
+  int Rank;
+  std::string LoopVar;
+  Expr LoopMin;
+};
+
+/// Walks the tree looking for Realize nodes; within each, finds serial
+/// loops between the Realize and the produce node and attempts to slide
+/// along the innermost such loop.
+class SlidingWindowPass : public IRMutator {
+public:
+  explicit SlidingWindowPass(const std::map<std::string, Function> &Env)
+      : Env(Env) {}
+
+protected:
+  Stmt visit(const Realize *Op) override {
+    Stmt Body = mutate(Op->Body); // inner realizations first
+    auto It = Env.find(Op->Name);
+    internal_assert(It != Env.end()) << "realize of unknown " << Op->Name;
+    int Rank = It->second.dimensions();
+
+    // Walk down to the produce node collecting the loops on the path.
+    // Sliding is only sound along the innermost intervening loop, and only
+    // when it is serial: a single unique first iteration must exist for
+    // every point (paper section 3.2).
+    std::vector<const For *> PathLoops;
+    collectSerialPath(Body, Op->Name, &PathLoops);
+    if (!PathLoops.empty() && PathLoops.back()->Kind == ForType::Serial) {
+      const For *Loop = PathLoops.back();
+      SlideAlongLoop Slider(Op->Name, Rank, Loop->Name, Loop->MinExpr);
+      Stmt NewBody = Slider.mutate(Body);
+      if (Slider.Applied)
+        Body = NewBody;
+    }
+    if (Body.sameAs(Op->Body))
+      return Op;
+    return Realize::make(Op->Name, Op->ElemType, Op->Bounds, Body);
+  }
+
+private:
+  static void collectSerialPath(const Stmt &S, const std::string &Name,
+                                std::vector<const For *> *Out) {
+    if (const For *Loop = S.as<For>()) {
+      if (containsProduceOf(Loop->Body, Name)) {
+        Out->push_back(Loop);
+        collectSerialPath(Loop->Body, Name, Out);
+      }
+      return;
+    }
+    if (const LetStmt *L = S.as<LetStmt>()) {
+      collectSerialPath(L->Body, Name, Out);
+      return;
+    }
+    if (const Block *B = S.as<Block>()) {
+      collectSerialPath(B->First, Name, Out);
+      collectSerialPath(B->Rest, Name, Out);
+      return;
+    }
+    if (const IfThenElse *I = S.as<IfThenElse>()) {
+      collectSerialPath(I->ThenCase, Name, Out);
+      if (I->ElseCase.defined())
+        collectSerialPath(I->ElseCase, Name, Out);
+      return;
+    }
+    // Stop at ProducerConsumer of the name itself, and do not descend into
+    // inner Realize nodes of other functions (their loops relate to their
+    // own windows), except that the produce of Name may legitimately sit
+    // inside another function's consume; handle by continuing through both.
+    if (const ProducerConsumer *PC = S.as<ProducerConsumer>()) {
+      if (PC->Name == Name && PC->IsProducer)
+        return;
+      collectSerialPath(PC->Body, Name, Out);
+      return;
+    }
+    if (const Realize *R = S.as<Realize>()) {
+      collectSerialPath(R->Body, Name, Out);
+      return;
+    }
+  }
+
+  static bool containsProduceOf(const Stmt &S, const std::string &Name);
+
+  const std::map<std::string, Function> &Env;
+};
+
+class ProduceFinder : public IRVisitor {
+public:
+  explicit ProduceFinder(const std::string &Name) : Name(Name) {}
+  bool Found = false;
+  void visit(const ProducerConsumer *Op) override {
+    if (Op->Name == Name && Op->IsProducer) {
+      Found = true;
+      return;
+    }
+    IRVisitor::visit(Op);
+  }
+
+private:
+  const std::string &Name;
+};
+
+bool SlidingWindowPass::containsProduceOf(const Stmt &S,
+                                          const std::string &Name) {
+  ProduceFinder Finder(Name);
+  S.accept(&Finder);
+  return Finder.Found;
+}
+
+} // namespace
+
+Stmt halide::slidingWindow(const Stmt &S,
+                           const std::map<std::string, Function> &Env) {
+  SlidingWindowPass Pass(Env);
+  return Pass.mutate(S);
+}

@@ -1,0 +1,33 @@
+//===-- transforms/SlidingWindow.h - Reuse across iterations ----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sliding window optimization (paper section 4.3): when a function is
+/// stored at a higher loop level than it is computed, with an intervening
+/// serial loop, each iteration can reuse values computed by previous
+/// iterations. The pass shrinks the per-iteration compute region to exclude
+/// everything already computed, trading parallelism (the loop must stay
+/// serial) for the elimination of redundant recomputation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_SLIDINGWINDOW_H
+#define HALIDE_TRANSFORMS_SLIDINGWINDOW_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Applies sliding window optimizations over every Realize whose produce
+/// node sits under an intervening serial loop.
+Stmt slidingWindow(const Stmt &S, const std::map<std::string, Function> &Env);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_SLIDINGWINDOW_H

@@ -1,0 +1,124 @@
+//===-- transforms/StorageFlattening.cpp ----------------------------------------=//
+
+#include "transforms/StorageFlattening.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+
+using namespace halide;
+
+namespace {
+
+std::string allocMinName(const std::string &Name, int D) {
+  return Name + ".alloc_min." + std::to_string(D);
+}
+std::string allocStrideName(const std::string &Name, int D) {
+  return Name + ".alloc_stride." + std::to_string(D);
+}
+std::string allocExtentName(const std::string &Name, int D) {
+  return Name + ".alloc_extent." + std::to_string(D);
+}
+
+class Flatten : public IRMutator {
+public:
+  Flatten(const std::string &OutputName,
+          const std::set<std::string> &InputImages)
+      : OutputName(OutputName), InputImages(InputImages) {}
+
+protected:
+  Stmt visit(const Realize *Op) override {
+    InternalAllocations.insert(Op->Name);
+    Stmt Body = mutate(Op->Body);
+
+    // Allocation extents, and lets for the mins/strides referenced by the
+    // flattened indices below.
+    std::vector<Expr> Extents;
+    for (const Range &R : Op->Bounds)
+      Extents.push_back(
+          Variable::make(Int(32), allocExtentName(Op->Name, int(&R - &Op->Bounds[0]))));
+
+    std::vector<std::pair<std::string, Expr>> Lets;
+    for (size_t D = 0; D < Op->Bounds.size(); ++D) {
+      Lets.emplace_back(allocMinName(Op->Name, int(D)), Op->Bounds[D].Min);
+      Lets.emplace_back(allocExtentName(Op->Name, int(D)),
+                        Op->Bounds[D].Extent);
+    }
+    Lets.emplace_back(allocStrideName(Op->Name, 0), 1);
+    for (size_t D = 1; D < Op->Bounds.size(); ++D) {
+      Expr Prev = Variable::make(Int(32), allocStrideName(Op->Name, int(D - 1)));
+      Expr PrevExtent =
+          Variable::make(Int(32), allocExtentName(Op->Name, int(D - 1)));
+      Lets.emplace_back(allocStrideName(Op->Name, int(D)), Prev * PrevExtent);
+    }
+
+    Stmt Result = Allocate::make(Op->Name, Op->ElemType, Extents, Body);
+    for (size_t I = Lets.size(); I-- > 0;)
+      Result = LetStmt::make(Lets[I].first, Lets[I].second, Result);
+    return Result;
+  }
+
+  Stmt visit(const Provide *Op) override {
+    Expr Value = mutate(Op->Value);
+    std::vector<Expr> Args;
+    Args.reserve(Op->Args.size());
+    for (const Expr &Arg : Op->Args)
+      Args.push_back(mutate(Arg));
+    return Store::make(Op->Name, Value,
+                       flatIndex(Op->Name, Args));
+  }
+
+  Expr visit(const Call *Op) override {
+    if (Op->CallKind != CallType::Halide && Op->CallKind != CallType::Image)
+      return IRMutator::visit(Op);
+    std::vector<Expr> Args;
+    Args.reserve(Op->Args.size());
+    for (const Expr &Arg : Op->Args)
+      Args.push_back(mutate(Arg));
+    return Load::make(Op->NodeType, Op->Name, flatIndex(Op->Name, Args));
+  }
+
+private:
+  /// index = sum_d (arg_d - min_d) * stride_d
+  Expr flatIndex(const std::string &Name, const std::vector<Expr> &Args) {
+    bool Internal = InternalAllocations.count(Name) > 0;
+    internal_assert(Internal || Name == OutputName ||
+                    InputImages.count(Name))
+        << "flattening: access to " << Name
+        << " which has no allocation or buffer binding";
+    Expr Index;
+    for (size_t D = 0; D < Args.size(); ++D) {
+      Expr MinVar =
+          Internal
+              ? Variable::make(Int(32), allocMinName(Name, int(D)))
+              : Variable::make(Int(32), bufferMinName(Name, int(D)), true);
+      // The innermost dimension always has stride 1 (scanline layout,
+      // paper section 4.4); boundary buffers are required to be dense in
+      // dimension 0 (checked by the runtime), which keeps vector loads
+      // and stores dense.
+      Expr StrideVar =
+          D == 0 ? Expr(1)
+          : Internal
+              ? Variable::make(Int(32), allocStrideName(Name, int(D)))
+              : Variable::make(Int(32), bufferStrideName(Name, int(D)),
+                               true);
+      Expr Term = (Args[D] - MinVar) * StrideVar;
+      Index = Index.defined() ? Index + Term : Term;
+    }
+    if (!Index.defined())
+      Index = 0;
+    return Index;
+  }
+
+  const std::string &OutputName;
+  const std::set<std::string> &InputImages;
+  std::set<std::string> InternalAllocations;
+};
+
+} // namespace
+
+Stmt halide::storageFlattening(const Stmt &S, const std::string &OutputName,
+                               const std::set<std::string> &InputImages,
+                               const std::map<std::string, Function> &Env) {
+  (void)Env;
+  Flatten Pass(OutputName, InputImages);
+  return Pass.mutate(S);
+}

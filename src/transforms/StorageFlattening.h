@@ -1,0 +1,47 @@
+//===-- transforms/StorageFlattening.h - Multi-dim -> 1-D -------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flattening (paper section 4.4): converts multidimensional Provide/Call
+/// accesses into one-dimensional Store/Load of flattened buffers; the index
+/// is the dot product of the site coordinates and the strides, minus the
+/// minimum. The innermost dimension always has stride 1 (scanline layout)
+/// for internal allocations; pipeline boundary buffers use the runtime-bound
+/// strides of the caller's buffers ("<name>.stride.<d>" parameters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_STORAGEFLATTENING_H
+#define HALIDE_TRANSFORMS_STORAGEFLATTENING_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace halide {
+
+/// Runs flattening. \p OutputName is the pipeline output (stored through
+/// the caller's buffer); \p InputImages are the input image names.
+Stmt storageFlattening(const Stmt &S, const std::string &OutputName,
+                       const std::set<std::string> &InputImages,
+                       const std::map<std::string, Function> &Env);
+
+/// Buffer-metadata parameter names, bound from RawBuffers at execution.
+inline std::string bufferMinName(const std::string &Buf, int D) {
+  return Buf + ".min." + std::to_string(D);
+}
+inline std::string bufferExtentName(const std::string &Buf, int D) {
+  return Buf + ".extent." + std::to_string(D);
+}
+inline std::string bufferStrideName(const std::string &Buf, int D) {
+  return Buf + ".stride." + std::to_string(D);
+}
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_STORAGEFLATTENING_H

@@ -1,0 +1,32 @@
+//===-- transforms/StorageFolding.h - Fold marching storage -----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage folding (paper section 4.3): when the region of an allocation
+/// used by each iteration of an intervening serial loop marches
+/// monotonically and has a constant-boundable extent, the storage can be
+/// folded by rewriting indices modulo a power of two, reducing peak memory
+/// (e.g. a whole-image blurx buffer folds to 3 scanlines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_STORAGEFOLDING_H
+#define HALIDE_TRANSFORMS_STORAGEFOLDING_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Applies storage folding to every foldable Realize in the statement.
+Stmt storageFolding(const Stmt &S,
+                    const std::map<std::string, Function> &Env);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_STORAGEFOLDING_H

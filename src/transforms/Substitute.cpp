@@ -1,0 +1,87 @@
+//===-- transforms/Substitute.cpp --------------------------------------------=//
+
+#include "transforms/Substitute.h"
+#include "analysis/Scope.h"
+#include "ir/IRMutator.h"
+
+using namespace halide;
+
+namespace {
+
+class Substitutor : public IRMutator {
+public:
+  explicit Substitutor(const std::map<std::string, Expr> &Bindings)
+      : Bindings(Bindings) {}
+
+protected:
+  Expr visit(const Variable *Op) override {
+    if (Shadowed.contains(Op->Name))
+      return Op;
+    auto It = Bindings.find(Op->Name);
+    if (It != Bindings.end())
+      return It->second;
+    return Op;
+  }
+
+  Expr visit(const Let *Op) override {
+    Expr Value = mutate(Op->Value);
+    ScopedBinding<int> Bind(Shadowed, Op->Name, 0);
+    Expr Body = mutate(Op->Body);
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return Let::make(Op->Name, Value, Body);
+  }
+
+  Stmt visit(const LetStmt *Op) override {
+    Expr Value = mutate(Op->Value);
+    ScopedBinding<int> Bind(Shadowed, Op->Name, 0);
+    Stmt Body = mutate(Op->Body);
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return LetStmt::make(Op->Name, Value, Body);
+  }
+
+  // For-loop variables also shadow.
+  Stmt visit(const For *Op) override {
+    Expr MinExpr = mutate(Op->MinExpr);
+    Expr Extent = mutate(Op->Extent);
+    ScopedBinding<int> Bind(Shadowed, Op->Name, 0);
+    Stmt Body = mutate(Op->Body);
+    if (MinExpr.sameAs(Op->MinExpr) && Extent.sameAs(Op->Extent) &&
+        Body.sameAs(Op->Body))
+      return Op;
+    return For::make(Op->Name, MinExpr, Extent, Op->Kind, Body);
+  }
+
+private:
+  const std::map<std::string, Expr> &Bindings;
+  Scope<int> Shadowed;
+};
+
+} // namespace
+
+Expr halide::substitute(const std::string &Name, const Expr &Replacement,
+                        const Expr &E) {
+  std::map<std::string, Expr> Bindings = {{Name, Replacement}};
+  Substitutor Sub(Bindings);
+  return Sub.mutate(E);
+}
+
+Stmt halide::substitute(const std::string &Name, const Expr &Replacement,
+                        const Stmt &S) {
+  std::map<std::string, Expr> Bindings = {{Name, Replacement}};
+  Substitutor Sub(Bindings);
+  return Sub.mutate(S);
+}
+
+Expr halide::substitute(const std::map<std::string, Expr> &Bindings,
+                        const Expr &E) {
+  Substitutor Sub(Bindings);
+  return Sub.mutate(E);
+}
+
+Stmt halide::substitute(const std::map<std::string, Expr> &Bindings,
+                        const Stmt &S) {
+  Substitutor Sub(Bindings);
+  return Sub.mutate(S);
+}

@@ -1,0 +1,36 @@
+//===-- transforms/Substitute.h - Variable substitution ---------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces free occurrences of named variables with expressions, respecting
+/// Let shadowing. Used by lowering (split index rewriting), inlining, the
+/// vectorizer, and the sliding window pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_SUBSTITUTE_H
+#define HALIDE_TRANSFORMS_SUBSTITUTE_H
+
+#include "ir/Expr.h"
+
+#include <map>
+#include <string>
+
+namespace halide {
+
+/// Substitutes Replacement for free uses of the variable named \p Name.
+Expr substitute(const std::string &Name, const Expr &Replacement,
+                const Expr &E);
+Stmt substitute(const std::string &Name, const Expr &Replacement,
+                const Stmt &S);
+
+/// Substitutes several variables at once.
+Expr substitute(const std::map<std::string, Expr> &Bindings, const Expr &E);
+Stmt substitute(const std::map<std::string, Expr> &Bindings, const Stmt &S);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_SUBSTITUTE_H

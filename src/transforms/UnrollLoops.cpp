@@ -1,0 +1,40 @@
+//===-- transforms/UnrollLoops.cpp ----------------------------------------------=//
+
+#include "transforms/UnrollLoops.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+#include "transforms/Simplify.h"
+#include "transforms/Substitute.h"
+
+using namespace halide;
+
+namespace {
+
+class UnrollLoopsPass : public IRMutator {
+protected:
+  Stmt visit(const For *Op) override {
+    if (Op->Kind != ForType::Unrolled)
+      return IRMutator::visit(Op);
+    Stmt Body = mutate(Op->Body);
+    int64_t Extent;
+    user_assert(proveConstInt(Op->Extent, &Extent))
+        << "unrolled loop " << Op->Name
+        << " must have a constant extent; split by a constant factor first";
+    user_assert(Extent >= 1 && Extent <= 64)
+        << "unrolled loop extent " << Extent << " out of range [1, 64]";
+    Stmt Result;
+    for (int64_t I = 0; I < Extent; ++I) {
+      Stmt Iteration = substitute(
+          Op->Name, simplify(Op->MinExpr + makeConst(Int(32), I)), Body);
+      Result = Result.defined() ? Block::make(Result, Iteration) : Iteration;
+    }
+    return Result;
+  }
+};
+
+} // namespace
+
+Stmt halide::unrollLoops(const Stmt &S) {
+  UnrollLoopsPass Pass;
+  return Pass.mutate(S);
+}

@@ -1,0 +1,26 @@
+//===-- transforms/UnrollLoops.h - Loop unrolling ---------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unrolling (paper section 4.5): replaces a constant-extent loop scheduled
+/// as unrolled with n sequential copies of its body. Partial unrolling is
+/// expressed by splitting first and unrolling the inner dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_UNROLLLOOPS_H
+#define HALIDE_TRANSFORMS_UNROLLLOOPS_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Replaces all unrolled loops in \p S with repeated bodies.
+Stmt unrollLoops(const Stmt &S);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_UNROLLLOOPS_H

@@ -1,0 +1,229 @@
+//===-- transforms/VectorizeLoops.cpp -------------------------------------------=//
+
+#include "transforms/VectorizeLoops.h"
+#include "analysis/Scope.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+#include "transforms/Simplify.h"
+#include "transforms/Substitute.h"
+
+#include <algorithm>
+
+using namespace halide;
+
+namespace {
+
+/// Substitutes a vector value for a scalar loop variable, widening every
+/// expression the variable flows into. Scalar operands mixing with vector
+/// operands are broadcast (the paper's type coercion pass).
+class VectorSubstitute : public IRMutator {
+public:
+  VectorSubstitute(const std::string &VarName, Expr Replacement)
+      : VarName(VarName), Replacement(Replacement),
+        Lanes(Replacement.type().Lanes) {}
+
+protected:
+  Expr visit(const Variable *Op) override {
+    if (Op->Name == VarName)
+      return Replacement;
+    if (WidenedLets.contains(Op->Name))
+      return Variable::make(WidenedLets.get(Op->Name), Op->Name);
+    return Op;
+  }
+
+  Expr visit(const Cast *Op) override {
+    Expr Value = mutate(Op->Value);
+    Type T = Op->NodeType.withLanes(Value.type().Lanes);
+    if (Value.sameAs(Op->Value) && T == Op->NodeType)
+      return Op;
+    return Cast::make(T, Value);
+  }
+
+  Expr visit(const Add *Op) override { return widenBinary<Add>(Op); }
+  Expr visit(const Sub *Op) override { return widenBinary<Sub>(Op); }
+  Expr visit(const Mul *Op) override { return widenBinary<Mul>(Op); }
+  Expr visit(const Div *Op) override { return widenBinary<Div>(Op); }
+  Expr visit(const Mod *Op) override { return widenBinary<Mod>(Op); }
+  Expr visit(const Min *Op) override { return widenBinary<Min>(Op); }
+  Expr visit(const Max *Op) override { return widenBinary<Max>(Op); }
+  Expr visit(const EQ *Op) override { return widenBinary<EQ>(Op); }
+  Expr visit(const NE *Op) override { return widenBinary<NE>(Op); }
+  Expr visit(const LT *Op) override { return widenBinary<LT>(Op); }
+  Expr visit(const LE *Op) override { return widenBinary<LE>(Op); }
+  Expr visit(const GT *Op) override { return widenBinary<GT>(Op); }
+  Expr visit(const GE *Op) override { return widenBinary<GE>(Op); }
+  Expr visit(const And *Op) override { return widenBinary<And>(Op); }
+  Expr visit(const Or *Op) override { return widenBinary<Or>(Op); }
+
+  Expr visit(const Select *Op) override {
+    Expr C = mutate(Op->Condition);
+    Expr T = mutate(Op->TrueValue);
+    Expr F = mutate(Op->FalseValue);
+    int L = std::max({C.type().Lanes, T.type().Lanes, F.type().Lanes});
+    if (L > 1) {
+      C = widen(C, L);
+      T = widen(T, L);
+      F = widen(F, L);
+    }
+    if (C.sameAs(Op->Condition) && T.sameAs(Op->TrueValue) &&
+        F.sameAs(Op->FalseValue))
+      return Op;
+    return Select::make(C, T, F);
+  }
+
+  Expr visit(const Load *Op) override {
+    Expr Index = mutate(Op->Index);
+    if (Index.sameAs(Op->Index))
+      return Op;
+    return Load::make(Op->NodeType.withLanes(Index.type().Lanes), Op->Name,
+                      Index);
+  }
+
+  Expr visit(const Call *Op) override {
+    std::vector<Expr> Args(Op->Args.size());
+    bool Changed = false;
+    int L = 1;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      Args[I] = mutate(Op->Args[I]);
+      Changed |= !Args[I].sameAs(Op->Args[I]);
+      L = std::max(L, Args[I].type().Lanes);
+    }
+    if (!Changed)
+      return Op;
+    internal_assert(Op->CallKind == CallType::PureExtern ||
+                    Op->CallKind == CallType::Intrinsic)
+        << "unflattened call to " << Op->Name << " during vectorization";
+    for (Expr &Arg : Args)
+      Arg = widen(Arg, L);
+    return Call::make(Op->NodeType.withLanes(L), Op->Name, std::move(Args),
+                      Op->CallKind);
+  }
+
+  Expr visit(const Let *Op) override {
+    Expr Value = mutate(Op->Value);
+    if (Value.type().isVector()) {
+      ScopedBinding<Type> Bind(WidenedLets, Op->Name, Value.type());
+      Expr Body = mutate(Op->Body);
+      return Let::make(Op->Name, Value, Body);
+    }
+    Expr Body = mutate(Op->Body);
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return Let::make(Op->Name, Value, Body);
+  }
+
+  Stmt visit(const LetStmt *Op) override {
+    Expr Value = mutate(Op->Value);
+    if (Value.type().isVector()) {
+      ScopedBinding<Type> Bind(WidenedLets, Op->Name, Value.type());
+      Stmt Body = mutate(Op->Body);
+      return LetStmt::make(Op->Name, Value, Body);
+    }
+    Stmt Body = mutate(Op->Body);
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return LetStmt::make(Op->Name, Value, Body);
+  }
+
+  Stmt visit(const Store *Op) override {
+    Expr Value = mutate(Op->Value);
+    Expr Index = mutate(Op->Index);
+    int L = std::max(Value.type().Lanes, Index.type().Lanes);
+    if (L > 1) {
+      Value = widen(Value, L);
+      Index = widen(Index, L);
+    }
+    if (Value.sameAs(Op->Value) && Index.sameAs(Op->Index))
+      return Op;
+    return Store::make(Op->Name, Value, Index);
+  }
+
+  Stmt visit(const For *Op) override {
+    Expr MinExpr = mutate(Op->MinExpr);
+    Expr Extent = mutate(Op->Extent);
+    user_assert(MinExpr.type().isScalar() && Extent.type().isScalar())
+        << "loop " << Op->Name
+        << " has bounds that depend on a vectorized variable";
+    Stmt Body = mutate(Op->Body);
+    if (MinExpr.sameAs(Op->MinExpr) && Extent.sameAs(Op->Extent) &&
+        Body.sameAs(Op->Body))
+      return Op;
+    return For::make(Op->Name, MinExpr, Extent, Op->Kind, Body);
+  }
+
+  Stmt visit(const IfThenElse *Op) override {
+    Expr C = mutate(Op->Condition);
+    user_assert(C.type().isScalar())
+        << "divergent control flow: if condition depends on a vectorized "
+           "variable";
+    Stmt T = mutate(Op->ThenCase);
+    Stmt F = mutate(Op->ElseCase);
+    if (C.sameAs(Op->Condition) && T.sameAs(Op->ThenCase) &&
+        F.sameAs(Op->ElseCase))
+      return Op;
+    return IfThenElse::make(C, T, F);
+  }
+
+  Stmt visit(const Allocate *Op) override {
+    for (const Expr &E : Op->Extents)
+      user_assert(!mutate(E).type().isVector())
+          << "allocation " << Op->Name
+          << " has an extent that depends on a vectorized variable";
+    return IRMutator::visit(Op);
+  }
+
+private:
+  template <typename NodeT> Expr widenBinary(const NodeT *Op) {
+    Expr A = mutate(Op->A);
+    Expr B = mutate(Op->B);
+    int L = std::max(A.type().Lanes, B.type().Lanes);
+    if (L > 1) {
+      A = widen(A, L);
+      B = widen(B, L);
+    }
+    if (A.sameAs(Op->A) && B.sameAs(Op->B))
+      return Op;
+    return NodeT::make(A, B);
+  }
+
+  Expr widen(Expr E, int L) {
+    if (E.type().Lanes == L)
+      return E;
+    internal_assert(E.type().isScalar())
+        << "cannot widen " << E.type().str() << " to " << L << " lanes";
+    return Broadcast::make(E, L);
+  }
+
+  std::string VarName;
+  Expr Replacement;
+  int Lanes;
+  Scope<Type> WidenedLets;
+};
+
+class VectorizeLoopsPass : public IRMutator {
+protected:
+  Stmt visit(const For *Op) override {
+    if (Op->Kind != ForType::Vectorized)
+      return IRMutator::visit(Op);
+    Stmt Body = mutate(Op->Body); // inner vectorized loops are an error
+    int64_t Extent;
+    user_assert(proveConstInt(Op->Extent, &Extent))
+        << "vectorized loop " << Op->Name
+        << " must have a constant extent (got "
+        << "a symbolic expression); split by a constant factor first";
+    user_assert(Extent >= 1) << "vectorized loop with non-positive extent";
+    if (Extent == 1)
+      return substitute(Op->Name, Op->MinExpr, Body);
+    Expr Lanes = Ramp::make(Op->MinExpr, makeOne(Op->MinExpr.type()),
+                            int(Extent));
+    VectorSubstitute Sub(Op->Name, Lanes);
+    return Sub.mutate(Body);
+  }
+};
+
+} // namespace
+
+Stmt halide::vectorizeLoops(const Stmt &S) {
+  VectorizeLoopsPass Pass;
+  return Pass.mutate(S);
+}

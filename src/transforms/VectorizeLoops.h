@@ -1,0 +1,29 @@
+//===-- transforms/VectorizeLoops.h - Vector code synthesis -----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vectorization (paper section 4.5): replaces a constant-extent loop
+/// scheduled as vectorized with a single statement in which the loop index
+/// becomes a ramp vector. All IR nodes are meaningful for vector types —
+/// loads become gathers (dense when the index is a stride-1 ramp), stores
+/// become scatters, arithmetic becomes vector arithmetic — and vectors are
+/// never split into bundles of scalars inside the compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_VECTORIZELOOPS_H
+#define HALIDE_TRANSFORMS_VECTORIZELOOPS_H
+
+#include "ir/Expr.h"
+
+namespace halide {
+
+/// Replaces all vectorized loops in \p S with vector statements.
+Stmt vectorizeLoops(const Stmt &S);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_VECTORIZELOOPS_H

@@ -1,0 +1,124 @@
+//===-- tests/IRTest.cpp - IR node, printer, equality tests ----------------===//
+
+#include "ir/Expr.h"
+#include "ir/IREquality.h"
+#include "ir/IRMutator.h"
+#include "ir/IROperators.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+namespace {
+Expr var(const char *Name) { return Variable::make(Int(32), Name); }
+} // namespace
+
+TEST(IRTest, Immediates) {
+  Expr I = IntImm::make(Int(32), 42);
+  EXPECT_EQ(I.type(), Int(32));
+  EXPECT_EQ(I.as<IntImm>()->Value, 42);
+  Expr U = UIntImm::make(UInt(8), 255);
+  EXPECT_EQ(U.as<UIntImm>()->Value, 255u);
+  Expr F = FloatImm::make(Float(32), 1.5);
+  EXPECT_EQ(F.as<FloatImm>()->Value, 1.5);
+}
+
+TEST(IRTest, LiteralConversions) {
+  Expr A = 3;
+  EXPECT_EQ(A.type(), Int(32));
+  Expr B = 2.5f;
+  EXPECT_EQ(B.type(), Float(32));
+  // Representable double literals collapse to float32.
+  Expr C = 0.25;
+  EXPECT_EQ(C.type(), Float(32));
+  Expr D = 0.1;
+  EXPECT_EQ(D.type(), Float(64));
+}
+
+TEST(IRTest, AsCast) {
+  Expr E = Add::make(var("x"), Expr(1));
+  EXPECT_NE(E.as<Add>(), nullptr);
+  EXPECT_EQ(E.as<Sub>(), nullptr);
+  EXPECT_EQ(E.as<Add>()->B.as<IntImm>()->Value, 1);
+}
+
+TEST(IRTest, PrinterExpr) {
+  Expr E = Add::make(var("x"), Mul::make(var("y"), Expr(2)));
+  EXPECT_EQ(exprToString(E), "(x + (y * 2))");
+  EXPECT_EQ(exprToString(Select::make(LT::make(var("x"), Expr(0)),
+                                      Expr(1), Expr(2))),
+            "select((x < 0), 1, 2)");
+  EXPECT_EQ(exprToString(Ramp::make(var("x"), 1, 8)), "ramp(x, 1, 8)");
+  EXPECT_EQ(exprToString(Broadcast::make(Expr(7), 4)), "x4(7)");
+}
+
+TEST(IRTest, PrinterStmt) {
+  Stmt S = For::make("f.x", 0, 10, ForType::Serial,
+                     Store::make("buf", var("f.x"), var("f.x")));
+  std::string Text = stmtToString(S);
+  EXPECT_NE(Text.find("for (f.x, 0, 10)"), std::string::npos);
+  EXPECT_NE(Text.find("buf[f.x] = f.x"), std::string::npos);
+}
+
+TEST(IRTest, StructuralEquality) {
+  Expr A = Add::make(var("x"), Expr(1));
+  Expr B = Add::make(var("x"), Expr(1));
+  Expr C = Add::make(var("x"), Expr(2));
+  EXPECT_TRUE(equal(A, B));
+  EXPECT_FALSE(equal(A, C));
+  EXPECT_FALSE(equal(A, Sub::make(var("x"), Expr(1))));
+  // Total order consistency.
+  EXPECT_EQ(compareExpr(A, B), 0);
+  EXPECT_EQ(compareExpr(A, C), -compareExpr(C, A));
+}
+
+TEST(IRTest, StmtEquality) {
+  Stmt A = Store::make("b", Expr(1), var("x"));
+  Stmt B = Store::make("b", Expr(1), var("x"));
+  Stmt C = Store::make("c", Expr(1), var("x"));
+  EXPECT_TRUE(equal(A, B));
+  EXPECT_FALSE(equal(A, C));
+}
+
+namespace {
+/// Counts Variable nodes.
+class VarCounter : public IRVisitor {
+public:
+  int Count = 0;
+  void visit(const Variable *) override { ++Count; }
+};
+} // namespace
+
+TEST(IRTest, VisitorTraversesChildren) {
+  Expr E = Select::make(LT::make(var("a"), var("b")),
+                        Add::make(var("c"), Expr(1)), var("d"));
+  VarCounter Counter;
+  E.accept(&Counter);
+  EXPECT_EQ(Counter.Count, 4);
+}
+
+TEST(IRTest, MutatorPreservesSharingWhenUnchanged) {
+  Expr E = Add::make(var("x"), Expr(1));
+  IRMutator M;
+  Expr E2 = M.mutate(E);
+  EXPECT_TRUE(E.sameAs(E2)); // pointer-identical when nothing changed
+}
+
+TEST(IRTest, BlockOfList) {
+  Stmt S1 = Evaluate::make(1);
+  Stmt S2 = Evaluate::make(2);
+  Stmt S3 = Evaluate::make(3);
+  Stmt B = Block::make({S1, S2, S3});
+  ASSERT_NE(B.as<Block>(), nullptr);
+  EXPECT_TRUE(equal(B.as<Block>()->First, S1));
+}
+
+TEST(IRTest, ForTypeNames) {
+  EXPECT_STREQ(forTypeName(ForType::Serial), "for");
+  EXPECT_STREQ(forTypeName(ForType::Parallel), "parallel for");
+  EXPECT_STREQ(forTypeName(ForType::Vectorized), "vectorized for");
+  EXPECT_TRUE(isParallelForType(ForType::GPUBlock));
+  EXPECT_FALSE(isParallelForType(ForType::Serial));
+}

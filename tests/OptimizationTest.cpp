@@ -1,0 +1,162 @@
+//===-- tests/OptimizationTest.cpp - Sliding window & storage folding --------===//
+//
+// Observes the paper's section-4.3 optimizations through the interpreter's
+// counters: sliding window eliminates redundant recomputation (store
+// counts); storage folding shrinks peak memory. Both must leave results
+// unchanged.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/baselines/Baselines.h"
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+namespace {
+
+struct BlurFixture {
+  ImageParam In;
+  Var x{"x"}, y{"y"};
+  Func Blurx, Out;
+  int W = 64, H = 48;
+
+  BlurFixture()
+      : In(UInt(8), 2, "opt_in"), Blurx("opt_blurx"), Out("opt_out") {
+    auto InC = [&](Expr X, Expr Y) {
+      return cast(UInt(16), In(clamp(X, 0, In.width() - 1),
+                               clamp(Y, 0, In.height() - 1)));
+    };
+    Blurx(x, y) =
+        cast(UInt(16), (InC(x - 1, y) + InC(x, y) + InC(x + 1, y)) / 3);
+    Out(x, y) = cast(UInt(8),
+                     (Blurx(x, y - 1) + Blurx(x, y) + Blurx(x, y + 1)) / 3);
+  }
+
+  ExecutionStats run(Buffer<uint8_t> *OutImg = nullptr,
+                     const LowerOptions &Opts = LowerOptions()) {
+    Buffer<uint8_t> Input(W, H);
+    Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+    Buffer<uint8_t> Output(W, H);
+    ParamBindings Params;
+    Params.bind("opt_in", Input);
+    ExecutionStats Stats = Pipeline(Out).realize(Output, Params, Opts);
+    if (OutImg)
+      *OutImg = Output;
+    return Stats;
+  }
+};
+
+} // namespace
+
+TEST(SlidingWindowTest, EliminatesRecomputation) {
+  BlurFixture F;
+  F.Blurx.storeRoot().computeAt(F.Out, F.y);
+  ExecutionStats Stats = F.run();
+  // Exactly one compute per point: W x (H + 2) scanlines of blurx.
+  EXPECT_EQ(Stats.StoresPerBuffer[F.Blurx.name()],
+            int64_t(F.W) * (F.H + 2));
+}
+
+TEST(SlidingWindowTest, WithoutItRecomputes) {
+  BlurFixture F;
+  F.Blurx.storeRoot().computeAt(F.Out, F.y);
+  LowerOptions Opts;
+  Opts.DisableSlidingWindow = true;
+  ExecutionStats Stats = F.run(nullptr, Opts);
+  // Each of the H iterations computes a full 3-scanline window.
+  EXPECT_EQ(Stats.StoresPerBuffer[F.Blurx.name()],
+            int64_t(F.W) * F.H * 3);
+}
+
+TEST(SlidingWindowTest, ResultUnchanged) {
+  BlurFixture A, B;
+  A.Blurx.storeRoot().computeAt(A.Out, A.y);
+  B.Blurx.storeRoot().computeAt(B.Out, B.y);
+  Buffer<uint8_t> WithOpt, WithoutOpt;
+  A.run(&WithOpt);
+  LowerOptions Opts;
+  Opts.DisableSlidingWindow = true;
+  B.run(&WithoutOpt, Opts);
+  for (int Y = 0; Y < A.H; ++Y)
+    for (int X = 0; X < A.W; ++X)
+      ASSERT_EQ(WithOpt(X, Y), WithoutOpt(X, Y));
+}
+
+TEST(StorageFoldingTest, ShrinksPeakMemory) {
+  BlurFixture F;
+  F.Blurx.storeRoot().computeAt(F.Out, F.y);
+  ExecutionStats Folded = F.run();
+  LowerOptions Opts;
+  Opts.DisableStorageFolding = true;
+  BlurFixture G;
+  G.Blurx.storeRoot().computeAt(G.Out, G.y);
+  ExecutionStats Unfolded = G.run(nullptr, Opts);
+  // Unfolded: the full blurx plane. Folded: a few scanlines.
+  EXPECT_GE(Unfolded.PeakAllocationBytes,
+            int64_t(F.W) * (F.H + 2) * 2);
+  EXPECT_LE(Folded.PeakAllocationBytes, int64_t(F.W) * 8 * 2);
+  EXPECT_LT(Folded.PeakAllocationBytes, Unfolded.PeakAllocationBytes / 4);
+}
+
+TEST(StorageFoldingTest, FoldedIndexingIsCorrect) {
+  BlurFixture F;
+  F.Blurx.storeRoot().computeAt(F.Out, F.y);
+  Buffer<uint8_t> Got;
+  F.run(&Got);
+  Buffer<uint8_t> Input(F.W, F.H);
+  Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+  Buffer<uint8_t> Want(F.W, F.H);
+  baselines::blurReference(Input, Want);
+  for (int Y = 0; Y < F.H; ++Y)
+    for (int X = 0; X < F.W; ++X)
+      ASSERT_EQ(Got(X, Y), Want(X, Y)) << X << "," << Y;
+}
+
+TEST(StorageFoldingTest, NoFoldAcrossParallelLoop) {
+  // A parallel intervening loop must not slide (no unique first iteration).
+  BlurFixture F;
+  F.Out.parallel(F.y);
+  F.Blurx.storeRoot().computeAt(F.Out, F.y);
+  ExecutionStats Stats = F.run();
+  // Without sliding, each iteration computes its full window.
+  EXPECT_EQ(Stats.StoresPerBuffer[F.Blurx.name()],
+            int64_t(F.W) * F.H * 3);
+}
+
+TEST(WorkAmplificationTest, MatchesPaperFigure3Shape) {
+  // Figure 3: full fusion has ~2x work amplification for the two-stage
+  // blur (3 recomputes per consumer sample amortized); breadth-first is
+  // 1.0x by definition; tiling costs a small boundary factor.
+  BlurFixture BF;
+  BF.Blurx.computeRoot();
+  int64_t BreadthStores = BF.run().totalStores();
+
+  BlurFixture Fused; // inline
+  int64_t FusedStores = Fused.run().totalStores();
+  // blurx is recomputed 3x per output point but adds no stores; total
+  // output stores equal; instead compare *loads* of the input.
+  BlurFixture BF2;
+  BF2.Blurx.computeRoot();
+  ExecutionStats S2 = BF2.run();
+  BlurFixture Fused2;
+  ExecutionStats SF = Fused2.run();
+  EXPECT_GT(SF.LoadsPerBuffer["opt_in"],
+            2 * S2.LoadsPerBuffer["opt_in"]);
+  (void)BreadthStores;
+  (void)FusedStores;
+
+  BlurFixture Tiled;
+  {
+    Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+    Tiled.Out.tile(Tiled.x, Tiled.y, xo, yo, xi, yi, 16, 8);
+    Tiled.Blurx.computeAt(Tiled.Out, xo);
+  }
+  ExecutionStats ST = Tiled.run();
+  double Amp = double(ST.StoresPerBuffer[Tiled.Blurx.name()]) /
+               double(64 * 48);
+  EXPECT_GT(Amp, 1.0);
+  EXPECT_LT(Amp, 1.5); // small ghost-zone overhead only
+}

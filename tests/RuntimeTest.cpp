@@ -1,0 +1,152 @@
+//===-- tests/RuntimeTest.cpp - Thread pool, GPU sim, buffers ------------------===//
+
+#include "runtime/Buffer.h"
+#include "runtime/GpuSim.h"
+#include "runtime/Runtime.h"
+#include "runtime/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace halide;
+
+TEST(ThreadPoolTest, CoversAllIterations) {
+  std::vector<std::atomic<int>> Hits(100);
+  for (auto &H : Hits)
+    H = 0;
+  struct Ctx {
+    std::vector<std::atomic<int>> *Hits;
+  } C{&Hits};
+  parallelFor(0, 100,
+              [](int32_t I, void *P) {
+                auto *Ctx_ = static_cast<Ctx *>(P);
+                (*Ctx_->Hits)[size_t(I)].fetch_add(1);
+              },
+              &C);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Hits[size_t(I)].load(), 1) << "iteration " << I;
+}
+
+TEST(ThreadPoolTest, NonZeroMin) {
+  std::atomic<int64_t> Sum{0};
+  struct Ctx {
+    std::atomic<int64_t> *Sum;
+  } C{&Sum};
+  parallelFor(10, 5,
+              [](int32_t I, void *P) {
+                static_cast<Ctx *>(P)->Sum->fetch_add(I);
+              },
+              &C);
+  EXPECT_EQ(Sum.load(), 10 + 11 + 12 + 13 + 14);
+}
+
+TEST(ThreadPoolTest, NestedParallelism) {
+  std::atomic<int> Count{0};
+  struct Ctx {
+    std::atomic<int> *Count;
+  } C{&Count};
+  parallelFor(0, 4,
+              [](int32_t, void *P) {
+                auto *Outer = static_cast<Ctx *>(P);
+                parallelFor(0, 8,
+                            [](int32_t, void *Q) {
+                              static_cast<Ctx *>(Q)->Count->fetch_add(1);
+                            },
+                            Outer);
+              },
+              &C);
+  EXPECT_EQ(Count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeExtent) {
+  parallelFor(0, 0, [](int32_t, void *) { FAIL(); }, nullptr);
+  parallelFor(0, -5, [](int32_t, void *) { FAIL(); }, nullptr);
+}
+
+TEST(GpuSimTest, LaunchStats) {
+  gpuSim().resetStats();
+  std::atomic<int> Blocks{0};
+  struct Ctx {
+    std::atomic<int> *Blocks;
+  } C{&Blocks};
+  gpuSim().launch(12,
+                  [](int32_t, void *P) {
+                    static_cast<Ctx *>(P)->Blocks->fetch_add(1);
+                  },
+                  &C);
+  EXPECT_EQ(Blocks.load(), 12);
+  EXPECT_EQ(gpuSim().stats().KernelLaunches, 1);
+  EXPECT_EQ(gpuSim().stats().BlocksExecuted, 12);
+}
+
+TEST(BufferTest, LayoutAndAccess) {
+  Buffer<uint16_t> B(5, 3);
+  EXPECT_EQ(B.width(), 5);
+  EXPECT_EQ(B.height(), 3);
+  EXPECT_EQ(B.raw().Dim[0].Stride, 1); // innermost dense
+  EXPECT_EQ(B.raw().Dim[1].Stride, 5);
+  B(2, 1) = 42;
+  EXPECT_EQ(B.data()[1 * 5 + 2], 42);
+  B.fill([](int X, int Y) { return X * 10 + Y; });
+  EXPECT_EQ(B(4, 2), 42);
+}
+
+TEST(BufferTest, ThreeDimensional) {
+  Buffer<float> B(4, 3, 2);
+  EXPECT_EQ(B.raw().Dim[2].Stride, 12);
+  B(1, 2, 1) = 7.0f;
+  EXPECT_EQ(B.data()[1 * 12 + 2 * 4 + 1], 7.0f);
+}
+
+TEST(BufferTest, MinOffsets) {
+  Buffer<int32_t> B(4, 4);
+  B.setMin(100, 200);
+  B(101, 202) = 9;
+  EXPECT_EQ(B(101, 202), 9);
+  EXPECT_EQ(B.minCoord(0), 100);
+}
+
+TEST(BufferTest, RawKeepsStorageAlive) {
+  RawBuffer Raw;
+  {
+    Buffer<uint8_t> B(8, 8);
+    B.fillConstant(77);
+    Raw = B.raw();
+  }
+  // The typed buffer is gone; the descriptor's Owner keeps data valid.
+  EXPECT_EQ(static_cast<uint8_t *>(Raw.Host)[0], 77);
+}
+
+TEST(ParamBindingsTest, MetadataLookup) {
+  Buffer<float> B(6, 4);
+  B.setMin(2, 3);
+  ParamBindings P;
+  P.bind("img", B);
+  double V;
+  EXPECT_TRUE(P.lookupScalar("img.extent.0", &V));
+  EXPECT_EQ(V, 6);
+  EXPECT_TRUE(P.lookupScalar("img.min.1", &V));
+  EXPECT_EQ(V, 3);
+  EXPECT_TRUE(P.lookupScalar("img.stride.1", &V));
+  EXPECT_EQ(V, 6);
+  // Dimensions beyond rank read as degenerate.
+  EXPECT_TRUE(P.lookupScalar("img.extent.2", &V));
+  EXPECT_EQ(V, 1);
+  EXPECT_FALSE(P.lookupScalar("other.extent.0", &V));
+  P.bindInt("k", 42);
+  EXPECT_TRUE(P.lookupScalar("k", &V));
+  EXPECT_EQ(V, 42);
+}
+
+TEST(RuntimeVTableTest, MallocAlignment) {
+  void *P = halideMalloc(1000);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 64, 0u);
+  halideFree(P);
+  const RuntimeVTable *VT = runtimeVTable();
+  void *Q = VT->Malloc(16);
+  ASSERT_NE(Q, nullptr);
+  VT->Free(Q);
+}

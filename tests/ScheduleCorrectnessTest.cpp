@@ -1,0 +1,208 @@
+//===-- tests/ScheduleCorrectnessTest.cpp ------------------------------------===//
+//
+// The paper's core safety property (section 5): "all valid schedules
+// generate correct code". A parameterized sweep applies many different
+// schedules to the same two-stage blur algorithm and checks every one
+// produces output identical to the breadth-first reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/baselines/Baselines.h"
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+namespace {
+
+struct BlurHarness {
+  ImageParam In;
+  Var x{"x"}, y{"y"};
+  Func Blurx, Out;
+
+  BlurHarness()
+      : In(UInt(8), 2, "sched_in"), Blurx("sched_blurx"), Out("sched_out") {
+    auto InC = [&](Expr X, Expr Y) {
+      return cast(UInt(16), In(clamp(X, 0, In.width() - 1),
+                               clamp(Y, 0, In.height() - 1)));
+    };
+    Blurx(x, y) =
+        cast(UInt(16), (InC(x - 1, y) + InC(x, y) + InC(x + 1, y)) / 3);
+    Out(x, y) = cast(UInt(8),
+                     (Blurx(x, y - 1) + Blurx(x, y) + Blurx(x, y + 1)) / 3);
+  }
+
+  Buffer<uint8_t> run(int W, int H) {
+    Buffer<uint8_t> Input(W, H);
+    Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+    Buffer<uint8_t> Output(W, H);
+    ParamBindings Params;
+    Params.bind("sched_in", Input);
+    Pipeline(Out).realize(Output, Params);
+    return Output;
+  }
+};
+
+using ScheduleFn = void (*)(BlurHarness &);
+
+void schedBreadthFirst(BlurHarness &H) { H.Blurx.computeRoot(); }
+void schedInline(BlurHarness &) {}
+void schedComputeAtY(BlurHarness &H) { H.Blurx.computeAt(H.Out, H.y); }
+void schedComputeAtX(BlurHarness &H) { H.Blurx.computeAt(H.Out, H.x); }
+void schedSliding(BlurHarness &H) {
+  H.Blurx.storeRoot().computeAt(H.Out, H.y);
+}
+void schedTiled(BlurHarness &H) {
+  Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  H.Out.tile(H.x, H.y, xo, yo, xi, yi, 16, 8);
+  H.Blurx.computeAt(H.Out, xo);
+}
+void schedTiledStoreAtTile(BlurHarness &H) {
+  Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  H.Out.tile(H.x, H.y, xo, yo, xi, yi, 16, 8);
+  H.Blurx.storeAt(H.Out, xo).computeAt(H.Out, yi);
+}
+void schedSlidingInTiles(BlurHarness &H) {
+  Var ty("ty");
+  H.Out.split(H.y, ty, H.y, 8);
+  H.Blurx.storeAt(H.Out, ty).computeAt(H.Out, H.y);
+}
+void schedVectorized(BlurHarness &H) {
+  H.Out.vectorize(H.x, 8);
+  H.Blurx.computeRoot().vectorize(H.x, 8);
+}
+void schedVectorNarrow(BlurHarness &H) {
+  H.Out.vectorize(H.x, 4);
+  H.Blurx.computeAt(H.Out, H.y).vectorize(H.x, 4);
+}
+void schedUnrolled(BlurHarness &H) {
+  H.Out.unroll(H.x, 4);
+  H.Blurx.computeRoot();
+}
+void schedParallel(BlurHarness &H) {
+  H.Out.parallel(H.y);
+  H.Blurx.computeAt(H.Out, H.y);
+}
+void schedParallelTiles(BlurHarness &H) {
+  Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  H.Out.tile(H.x, H.y, xo, yo, xi, yi, 32, 8).parallel(yo).vectorize(xi, 8);
+  H.Blurx.computeAt(H.Out, xo).vectorize(H.x, 8);
+}
+void schedReordered(BlurHarness &H) {
+  H.Out.reorder(H.y, H.x); // column-major
+  H.Blurx.computeRoot();
+}
+void schedNestedSplit(BlurHarness &H) {
+  Var xo("xo"), xi("xi"), xoo("xoo"), xoi("xoi");
+  H.Out.split(H.x, xo, xi, 16).split(xo, xoo, xoi, 2);
+  H.Blurx.computeRoot();
+}
+void schedGpuTiles(BlurHarness &H) {
+  Var bx("bx"), by("by"), tx("tx"), ty("ty");
+  H.Out.gpuTile(H.x, H.y, bx, by, tx, ty, 16, 8);
+  H.Blurx.computeAt(H.Out, bx);
+}
+
+struct NamedSchedule {
+  const char *Name;
+  ScheduleFn Apply;
+};
+
+const NamedSchedule Schedules[] = {
+    {"breadth_first", schedBreadthFirst},
+    {"inline", schedInline},
+    {"compute_at_y", schedComputeAtY},
+    {"compute_at_x", schedComputeAtX},
+    {"sliding_window", schedSliding},
+    {"tiled", schedTiled},
+    {"tiled_store_at_tile", schedTiledStoreAtTile},
+    {"sliding_in_tiles", schedSlidingInTiles},
+    {"vectorized", schedVectorized},
+    {"vector_narrow", schedVectorNarrow},
+    {"unrolled", schedUnrolled},
+    {"parallel", schedParallel},
+    {"parallel_tiles", schedParallelTiles},
+    {"reordered", schedReordered},
+    {"nested_split", schedNestedSplit},
+    {"gpu_tiles", schedGpuTiles},
+};
+
+} // namespace
+
+class ScheduleSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ScheduleSweepTest, MatchesReference) {
+  const NamedSchedule &S = Schedules[GetParam()];
+  const int W = 64, Ht = 48;
+
+  BlurHarness H;
+  S.Apply(H);
+  Buffer<uint8_t> Got = H.run(W, Ht);
+
+  // Reference from the hand-written C++ implementation.
+  Buffer<uint8_t> Input(W, Ht);
+  Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+  Buffer<uint8_t> Want(W, Ht);
+  baselines::blurReference(Input, Want);
+
+  for (int Y = 0; Y < Ht; ++Y)
+    for (int X = 0; X < W; ++X)
+      ASSERT_EQ(int(Got(X, Y)), int(Want(X, Y)))
+          << "schedule " << S.Name << " wrong at (" << X << "," << Y << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedules, ScheduleSweepTest,
+    ::testing::Range<size_t>(0, std::size(Schedules)),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return Schedules[Info.param].Name;
+    });
+
+TEST(ScheduleApiTest, SplitValidation) {
+  Var x("x"), y("y"), xo("xo"), xi("xi");
+  Func F("splitcheck");
+  F(x, y) = x + y;
+  F.split(x, xo, xi, 8);
+  const Schedule &S = F.function().schedule();
+  ASSERT_EQ(S.Splits.size(), 1u);
+  EXPECT_EQ(S.Splits[0].Old, "x");
+  ASSERT_EQ(S.Dims.size(), 3u);
+  EXPECT_EQ(S.Dims[0].Var, "y");
+  EXPECT_EQ(S.Dims[1].Var, "xo");
+  EXPECT_EQ(S.Dims[2].Var, "xi");
+}
+
+TEST(ScheduleApiTest, TileProducesCanonicalOrder) {
+  Var x("x"), y("y"), xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  Func F("tilecheck");
+  F(x, y) = x + y;
+  F.tile(x, y, xo, yo, xi, yi, 8, 8);
+  const Schedule &S = F.function().schedule();
+  ASSERT_EQ(S.Dims.size(), 4u);
+  EXPECT_EQ(S.Dims[0].Var, "yo");
+  EXPECT_EQ(S.Dims[1].Var, "xo");
+  EXPECT_EQ(S.Dims[2].Var, "yi");
+  EXPECT_EQ(S.Dims[3].Var, "xi");
+}
+
+TEST(ScheduleApiTest, LoopLevels) {
+  EXPECT_TRUE(LoopLevel::root().isRoot());
+  EXPECT_TRUE(LoopLevel::inlined().isInlined());
+  LoopLevel At = LoopLevel::at("f", "x");
+  EXPECT_EQ(At.loopName(), "f.x");
+  EXPECT_EQ(At.str(), "f.x");
+}
+
+TEST(ScheduleApiTest, ResetSchedule) {
+  Var x("x"), y("y"), xo("xo"), xi("xi");
+  Func F("resetcheck");
+  F(x, y) = x + y;
+  F.split(x, xo, xi, 8).parallel(y).computeRoot();
+  F.function().resetSchedule();
+  const Schedule &S = F.function().schedule();
+  EXPECT_TRUE(S.Splits.empty());
+  EXPECT_EQ(S.Dims.size(), 2u);
+  EXPECT_TRUE(S.ComputeLevel.isInlined());
+}

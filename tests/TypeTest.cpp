@@ -1,0 +1,66 @@
+//===-- tests/TypeTest.cpp - Type system unit tests ------------------------===//
+
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+TEST(TypeTest, Constructors) {
+  EXPECT_TRUE(Int(32).isInt());
+  EXPECT_TRUE(UInt(8).isUInt());
+  EXPECT_TRUE(Float(32).isFloat());
+  EXPECT_TRUE(Bool().isBool());
+  EXPECT_TRUE(Bool().isUInt());
+  EXPECT_EQ(Int(16, 4).Lanes, 4);
+  EXPECT_TRUE(Int(16, 4).isVector());
+  EXPECT_FALSE(Int(16).isVector());
+}
+
+TEST(TypeTest, WithLanesAndElement) {
+  Type V = Float(32, 8);
+  EXPECT_EQ(V.element(), Float(32));
+  EXPECT_EQ(Float(32).withLanes(8), V);
+  EXPECT_EQ(V.withCode(TypeCode::Int), Int(32, 8));
+}
+
+TEST(TypeTest, Bytes) {
+  EXPECT_EQ(UInt(8).bytes(), 1);
+  EXPECT_EQ(Bool().bytes(), 1);
+  EXPECT_EQ(Int(16).bytes(), 2);
+  EXPECT_EQ(Float(64).bytes(), 8);
+}
+
+TEST(TypeTest, IntRanges) {
+  EXPECT_EQ(Int(8).intMin(), -128);
+  EXPECT_EQ(Int(8).intMax(), 127);
+  EXPECT_EQ(UInt(8).intMin(), 0);
+  EXPECT_EQ(UInt(8).intMax(), 255);
+  EXPECT_EQ(UInt(16).uintMax(), 65535u);
+  EXPECT_EQ(Int(32).intMax(), 2147483647);
+}
+
+TEST(TypeTest, CanRepresent) {
+  EXPECT_TRUE(UInt(8).canRepresent(int64_t(255)));
+  EXPECT_FALSE(UInt(8).canRepresent(int64_t(256)));
+  EXPECT_FALSE(UInt(8).canRepresent(int64_t(-1)));
+  EXPECT_TRUE(Int(8).canRepresent(int64_t(-128)));
+  EXPECT_FALSE(Int(8).canRepresent(int64_t(128)));
+  EXPECT_TRUE(Float(32).canRepresent(0.5));
+  EXPECT_FALSE(Float(32).canRepresent(0.1)); // not exact in binary32
+  EXPECT_TRUE(Float(64).canRepresent(0.1));
+}
+
+TEST(TypeTest, Printing) {
+  EXPECT_EQ(Int(32).str(), "int32");
+  EXPECT_EQ(UInt(8, 16).str(), "uint8x16");
+  EXPECT_EQ(Float(32).str(), "float32");
+  EXPECT_EQ(Bool().str(), "bool");
+}
+
+TEST(TypeTest, Equality) {
+  EXPECT_EQ(Int(32), Int(32));
+  EXPECT_NE(Int(32), UInt(32));
+  EXPECT_NE(Int(32), Int(32, 4));
+  EXPECT_NE(Int(32), Int(16));
+}
