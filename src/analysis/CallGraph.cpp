@@ -96,6 +96,16 @@ std::vector<std::string> halide::directCallees(const Function &F) {
   return Result;
 }
 
+std::map<std::string, int> halide::calleeSiteCounts(const Function &F) {
+  CallCollector Collector;
+  collectFromFunction(F, &Collector);
+  std::map<std::string, int> Counts;
+  for (const auto &[Callee, ArgSets] : Collector.CallArgs)
+    if (Collector.FuncCalls.count(Callee) && Callee != F.name())
+      Counts[Callee] = int(ArgSets.size());
+  return Counts;
+}
+
 namespace {
 
 void topoVisit(const std::string &Name,

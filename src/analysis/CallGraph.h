@@ -35,6 +35,14 @@ std::vector<std::string> realizationOrder(
 /// definitions (pure and updates), excluding itself.
 std::vector<std::string> directCallees(const Function &F);
 
+/// Number of distinct call sites (distinct argument vectors) per callee in
+/// \p F's definitions. A callee consumed at a single site is pointwise:
+/// inlining it into F duplicates no work, whereas inlining a stage read
+/// through a multi-point stencil multiplies its cost by the site count
+/// (and chains of such inlinings compound exponentially, e.g. across an
+/// image pyramid's downsample stages).
+std::map<std::string, int> calleeSiteCounts(const Function &F);
+
 /// Names of input images (CallType::Image) referenced anywhere in the
 /// pipeline rooted at \p Output.
 std::vector<std::string> inputImages(const Function &Output);

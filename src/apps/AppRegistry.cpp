@@ -13,17 +13,29 @@ std::vector<App> halide::paperApps(int LocalLaplacianLevels) {
   Apps.push_back(makeInterpolateApp());
   Apps.push_back(makeLocalLaplacianApp(LocalLaplacianLevels));
 
-  // Wire baseline hooks not set by the individual factories.
+  // Wire baseline hooks not set by the individual factories. The
+  // ReferenceMargin values reflect how far each baseline's edge-clamping
+  // convention diverges from Halide's bounds-inference extension (pyramid
+  // and grid apps diverge over a border band, see Apps.h).
   for (App &A : Apps) {
-    if (A.Name == "bilateral_grid") {
+    if (A.Name == "blur") {
+      A.Reference = baselines::blurReferenceOutput;
+      A.ReferenceMargin = 0;
+    } else if (A.Name == "bilateral_grid") {
       A.NaiveBaselineMs = baselines::bilateralGridNaiveMs;
       A.ExpertBaselineMs = baselines::bilateralGridExpertMs;
+      A.Reference = baselines::bilateralGridReferenceOutput;
+      A.ReferenceMargin = 24; // three 8-pixel grid tiles
     } else if (A.Name == "camera_pipe") {
       A.NaiveBaselineMs = baselines::cameraPipeNaiveMs;
       A.ExpertBaselineMs = baselines::cameraPipeExpertMs;
+      A.Reference = baselines::cameraPipeReferenceOutput;
+      A.ReferenceMargin = 4; // demosaic stencils straddle the border
     } else if (A.Name == "interpolate") {
       A.NaiveBaselineMs = baselines::interpolateNaiveMs;
       A.ExpertBaselineMs = baselines::interpolateExpertMs;
+      A.Reference = baselines::interpolateReferenceOutput;
+      A.ReferenceMargin = 64; // six-level pyramid border band (~2^6)
     } else if (A.Name == "local_laplacian") {
       int J = LocalLaplacianLevels;
       A.NaiveBaselineMs = [J](int W, int H) {
@@ -32,6 +44,10 @@ std::vector<App> halide::paperApps(int LocalLaplacianLevels) {
       A.ExpertBaselineMs = [J](int W, int H) {
         return baselines::localLaplacianExpertMs(W, H, J, 8);
       };
+      A.Reference = [J](int W, int H, const RawBuffer &Out) {
+        baselines::localLaplacianReferenceOutput(W, H, J, 8, Out);
+      };
+      A.ReferenceMargin = 2 << LocalLaplacianLevels; // pyramid border band
     }
   }
   return Apps;

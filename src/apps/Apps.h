@@ -51,6 +51,17 @@ struct App {
   /// Runs the naive (clean C++, breadth-first) baseline; returns ms.
   std::function<double(int W, int H)> NaiveBaselineMs;
 
+  /// Writes the naive hand-written baseline's output for the app's standard
+  /// W x H synthetic input into \p Out (shaped like the pipeline output).
+  /// Null for apps without a baseline. Used by the differential
+  /// schedule-correctness harness as the independent expected result.
+  std::function<void(int W, int H, const RawBuffer &Out)> Reference;
+  /// Border pixels excluded when comparing against Reference: the baselines
+  /// clamp each pyramid level at its own allocated extent while the Halide
+  /// pipelines extend intermediate levels through bounds inference, so the
+  /// two conventions legitimately diverge near image edges.
+  int ReferenceMargin = 0;
+
   /// Properties reported by the paper (Figures 6 and 7) for context.
   int PaperHalideLines = 0;
   int PaperExpertLines = 0;

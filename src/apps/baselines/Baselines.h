@@ -50,6 +50,17 @@ double interpolateExpertMs(int W, int H);
 double localLaplacianNaiveMs(int W, int H, int Levels, int K);
 double localLaplacianExpertMs(int W, int H, int Levels, int K);
 
+// Reference-output writers for the differential schedule-correctness
+// harness: each computes the naive baseline over the app's standard W x H
+// synthetic input (the same generator App::MakeInputs uses) and writes the
+// result into a caller-provided buffer shaped like the Halide app's output.
+void blurReferenceOutput(int W, int H, const RawBuffer &Out);
+void bilateralGridReferenceOutput(int W, int H, const RawBuffer &Out);
+void cameraPipeReferenceOutput(int W, int H, const RawBuffer &Out);
+void interpolateReferenceOutput(int W, int H, const RawBuffer &Out);
+void localLaplacianReferenceOutput(int W, int H, int Levels, int K,
+                                   const RawBuffer &Out);
+
 } // namespace baselines
 } // namespace halide
 

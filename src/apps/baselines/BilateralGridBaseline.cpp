@@ -107,6 +107,24 @@ void slice(const std::vector<float> &In, int W, int H, Grid &G,
 
 } // namespace
 
+void halide::baselines::bilateralGridReferenceOutput(int W, int H,
+                                                     const RawBuffer &Out) {
+  std::vector<float> In = makeInput(W, H);
+  std::vector<float> OutV(size_t(W) * H);
+  Grid G;
+  buildGrid(In, W, H, G);
+  blurAxis(G, 2);
+  blurAxis(G, 0);
+  blurAxis(G, 1);
+  slice(In, W, H, G, OutV);
+  float *O = static_cast<float *>(Out.Host);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int Coords[2] = {X, Y};
+      O[Out.offsetOf(Coords, 2)] = OutV[size_t(Y) * W + X];
+    }
+}
+
 double halide::baselines::bilateralGridNaiveMs(int W, int H) {
   std::vector<float> In = makeInput(W, H);
   std::vector<float> Out(size_t(W) * H);

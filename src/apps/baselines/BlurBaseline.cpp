@@ -104,6 +104,19 @@ double halide::baselines::blurExpertMs(int W, int H) {
   return timeMs([&] { blurExpert(In.data(), Out.data(), W, H); });
 }
 
+void halide::baselines::blurReferenceOutput(int W, int H,
+                                            const RawBuffer &Out) {
+  std::vector<uint8_t> In = makeInput(W, H);
+  std::vector<uint8_t> Flat(size_t(W) * H);
+  blurNaive(In.data(), Flat.data(), W, H);
+  uint8_t *O = static_cast<uint8_t *>(Out.Host);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int Coords[2] = {X, Y};
+      O[Out.offsetOf(Coords, 2)] = Flat[size_t(Y) * W + X];
+    }
+}
+
 void halide::baselines::blurReference(const Buffer<uint8_t> &In,
                                       Buffer<uint8_t> &Out) {
   int W = In.width(), H = In.height();

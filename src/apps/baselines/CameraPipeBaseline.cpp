@@ -81,7 +81,7 @@ struct PlaneView {
 };
 
 void demosaicAndFinish(const HalfPlanes &P, const std::vector<uint8_t> &Curve,
-                       uint8_t *Out, int W, int H, int Y0, int Y1) {
+                       uint8_t *Out, int W, int /*H*/, int Y0, int Y1) {
   PlaneView Gr{&P.Gr, P.HW, P.HH}, R{&P.R, P.HW, P.HH}, B{&P.B, P.HW, P.HH},
       Gb{&P.Gb, P.HW, P.HH};
   for (int Y = Y0; Y < Y1; ++Y)
@@ -129,6 +129,23 @@ void demosaicAndFinish(const HalfPlanes &P, const std::vector<uint8_t> &Curve,
 }
 
 } // namespace
+
+void halide::baselines::cameraPipeReferenceOutput(int W, int H,
+                                                  const RawBuffer &Out) {
+  std::vector<uint16_t> Raw = makeRaw(W, H);
+  std::vector<uint8_t> Curve = makeCurve();
+  std::vector<uint8_t> OutV(size_t(W) * H * 3);
+  HalfPlanes P;
+  deinterleave(Raw, W, H, P);
+  demosaicAndFinish(P, Curve, OutV.data(), W, H, 0, H);
+  uint8_t *O = static_cast<uint8_t *>(Out.Host);
+  for (int C = 0; C < 3; ++C)
+    for (int Y = 0; Y < H; ++Y)
+      for (int X = 0; X < W; ++X) {
+        int Coords[3] = {X, Y, C};
+        O[Out.offsetOf(Coords, 3)] = OutV[(size_t(Y) * W + X) * 3 + C];
+      }
+}
 
 double halide::baselines::cameraPipeNaiveMs(int W, int H) {
   std::vector<uint16_t> Raw = makeRaw(W, H);

@@ -160,6 +160,20 @@ void runPyramid(const Image &In, Image &Final, bool Fused) {
 
 } // namespace
 
+void halide::baselines::interpolateReferenceOutput(int W, int H,
+                                                   const RawBuffer &Out) {
+  Image In = makeInput(W, H);
+  Image Final;
+  runPyramid(In, Final, /*Fused=*/false);
+  float *O = static_cast<float *>(Out.Host);
+  for (int C = 0; C < 3; ++C)
+    for (int Y = 0; Y < H; ++Y)
+      for (int X = 0; X < W; ++X) {
+        int Coords[3] = {X, Y, C};
+        O[Out.offsetOf(Coords, 3)] = Final.get(X, Y, C);
+      }
+}
+
 double halide::baselines::interpolateNaiveMs(int W, int H) {
   Image In = makeInput(W, H);
   Image Out;

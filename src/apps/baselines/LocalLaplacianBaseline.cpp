@@ -172,6 +172,20 @@ void runLocalLaplacian(const std::vector<uint16_t> &In, int W, int H, int J,
 
 } // namespace
 
+void halide::baselines::localLaplacianReferenceOutput(int W, int H,
+                                                      int Levels, int K,
+                                                      const RawBuffer &Out) {
+  std::vector<uint16_t> In = makeInput(W, H);
+  std::vector<uint16_t> OutV(size_t(W) * H);
+  runLocalLaplacian(In, W, H, Levels, K, OutV, /*Fused=*/false);
+  uint16_t *O = static_cast<uint16_t *>(Out.Host);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      int Coords[2] = {X, Y};
+      O[Out.offsetOf(Coords, 2)] = OutV[size_t(Y) * W + X];
+    }
+}
+
 double halide::baselines::localLaplacianNaiveMs(int W, int H, int J, int K) {
   std::vector<uint16_t> In = makeInput(W, H);
   std::vector<uint16_t> Out(size_t(W) * H);

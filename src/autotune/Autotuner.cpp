@@ -17,12 +17,6 @@ struct Individual {
   double Ms = -1.0; // fitness; < 0 means unevaluated
 };
 
-/// Byte-compares two identically shaped raw buffers.
-bool sameBytes(const RawBuffer &A, const RawBuffer &B) {
-  int64_t Bytes = A.numElements() * A.ElemType.bytes();
-  return std::memcmp(A.Host, B.Host, size_t(Bytes)) == 0;
-}
-
 } // namespace
 
 TuneResult halide::autotune(Func Output, const ParamBindings &Inputs,

@@ -28,9 +28,13 @@ ScheduleSpace::ScheduleSpace(Function OutputFn) : Output(std::move(OutputFn)) {
   Order = realizationOrder(Output, Env);
   // Invert the call graph to find stages with a unique direct consumer.
   std::map<std::string, std::vector<std::string>> Consumers;
-  for (const auto &[Name, F] : Env)
+  for (const auto &[Name, F] : Env) {
     for (const std::string &Callee : directCallees(F))
       Consumers[Callee].push_back(Name);
+    for (const auto &[Callee, Sites] : calleeSiteCounts(F))
+      MaxConsumerSites[Callee] =
+          std::max(MaxConsumerSites[Callee], Sites);
+  }
   for (const auto &[Name, List] : Consumers)
     if (List.size() == 1)
       UniqueConsumer[Name] = List[0];
@@ -98,6 +102,98 @@ Genome ScheduleSpace::randomGenome(std::mt19937 &Rng) const {
   for (const std::string &Name : Order)
     G.Genes.push_back(randomGene(Name, Rng));
   return G;
+}
+
+std::vector<Genome> ScheduleSpace::deterministicSample(int Count,
+                                                       uint32_t Seed) const {
+  // Inlining a stage consumed at S distinct sites multiplies its work by
+  // up to S, and chained inlinings compound multiplicatively — fully
+  // fusing an image pyramid is exponential in its depth. Cap the product
+  // of site counts over all inlined stages so the sampled schedules stay
+  // tractable to interpret (blur's 3x full fusion passes; a pyramid's
+  // 4^depth does not).
+  constexpr int64_t MaxInlineAmplification = 32;
+  auto SiteCount = [this](const std::string &Name) {
+    auto It = MaxConsumerSites.find(Name);
+    return It == MaxConsumerSites.end() ? int64_t(1)
+                                        : int64_t(std::max(1, It->second));
+  };
+  // Demotes inline genes (in realization order) once the cumulative
+  // amplification bound is exceeded.
+  auto CapInlining = [&](Genome &G) {
+    int64_t Amp = 1;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      FuncGene &Gene = G.Genes[I];
+      if (Gene.Call != FuncGene::CallSchedule::Inline)
+        continue;
+      int64_t Sites = SiteCount(Order[I]);
+      if (!canInline(Order[I]) || Amp * Sites > MaxInlineAmplification)
+        Gene.Call = FuncGene::CallSchedule::Root;
+      else
+        Amp *= Sites;
+    }
+  };
+
+  std::vector<Genome> Sample;
+  Sample.push_back(breadthFirstGenome());
+
+  // Maximal (bounded) fusion: inline greedily until the amplification cap.
+  Genome Inlined = breadthFirstGenome();
+  for (size_t I = 0; I < Order.size(); ++I)
+    if (canInline(Order[I]))
+      Inlined.Genes[I].Call = FuncGene::CallSchedule::Inline;
+  CapInlining(Inlined);
+  Sample.push_back(Inlined);
+
+  // Every root stage fully parallelized, tiled, and vectorized.
+  Genome Tiled = breadthFirstGenome();
+  for (FuncGene &Gene : Tiled.Genes) {
+    Gene.Pattern = FuncGene::DomainPattern::TiledVectorized;
+    Gene.TileX = 16;
+    Gene.TileY = 8;
+    Gene.VecWidth = 4;
+  }
+  Sample.push_back(Tiled);
+
+  // Every root stage vectorized along x.
+  Genome Vectorized = breadthFirstGenome();
+  for (FuncGene &Gene : Vectorized.Genes) {
+    Gene.Pattern = FuncGene::DomainPattern::VectorizedX;
+    Gene.VecWidth = 8;
+  }
+  Sample.push_back(Vectorized);
+
+  // Sliding window: fuse into the consumer's scanlines, storing at root,
+  // wherever a unique consumer exists.
+  Genome Sliding = breadthFirstGenome();
+  for (size_t I = 0; I < Order.size(); ++I)
+    if (canFuse(Order[I])) {
+      Sliding.Genes[I].Call = FuncGene::CallSchedule::FuseIntoConsumer;
+      Sliding.Genes[I].SlideScanlines = true;
+    }
+  Sample.push_back(Sliding);
+
+  std::mt19937 Rng(Seed);
+  while (int(Sample.size()) < Count)
+    Sample.push_back(Sample.size() % 2 ? randomGenome(Rng)
+                                       : reasonableGenome(Rng));
+  if (int(Sample.size()) > Count)
+    Sample.resize(size_t(Count));
+
+  // Clamp the randomized constants so every sampled schedule is valid on
+  // any frame whose dimensions are multiples of 16 (split factors must
+  // divide the output extent; the autotuner proper explores larger tiles
+  // against its own frame size), and apply the same inline-amplification
+  // cap to the random genomes.
+  for (Genome &G : Sample) {
+    for (FuncGene &Gene : G.Genes) {
+      Gene.TileX = std::min(Gene.TileX, 16);
+      Gene.TileY = std::min(Gene.TileY, 16);
+      Gene.VecWidth = std::min(Gene.VecWidth, 8);
+    }
+    CapInlining(G);
+  }
+  return Sample;
 }
 
 Genome ScheduleSpace::reasonableGenome(std::mt19937 &Rng) const {

@@ -76,6 +76,13 @@ public:
   /// Independent random choices for every stage.
   Genome randomGenome(std::mt19937 &Rng) const;
 
+  /// A deterministic, seeded sample of \p Count schedules for differential
+  /// testing: the canonical variants first (breadth-first, max-inline,
+  /// tiled+parallel+vectorized, vectorized-x, sliding-window fusion), then
+  /// seeded random/reasonable genomes. The same (Count, Seed) always yields
+  /// the same genomes, so failures reproduce across runs and machines.
+  std::vector<Genome> deterministicSample(int Count, uint32_t Seed) const;
+
   /// The paper's mutation rules: randomize constants, replace, copy,
   /// add/remove/replace a transformation, the loop-fusion rule, and the
   /// template rule (the latter two with higher probability).
@@ -100,6 +107,11 @@ private:
   std::vector<std::string> Order;
   /// Unique direct consumer of each stage, where one exists.
   std::map<std::string, std::string> UniqueConsumer;
+  /// Worst-case distinct call sites any single consumer uses for a stage.
+  /// Stages at 1 are consumed pointwise: inlining them never duplicates
+  /// work, so they are the only ones deterministicSample inlines (chained
+  /// stencil inlining compounds exponentially on pyramid pipelines).
+  std::map<std::string, int> MaxConsumerSites;
 };
 
 } // namespace halide

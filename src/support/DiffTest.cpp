@@ -1,0 +1,253 @@
+//===-- support/DiffTest.cpp - Differential schedule testing -----------------===//
+
+#include "support/DiffTest.h"
+
+#include "autotune/ScheduleSpace.h"
+#include "codegen/Interpreter.h"
+#include "codegen/Jit.h"
+#include "ir/IROperators.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+using namespace halide;
+
+int halide::runOnBackend(DiffBackend Backend, const LoweredPipeline &P,
+                         const ParamBindings &Params,
+                         const std::string &JitFlags) {
+  switch (Backend) {
+  case DiffBackend::Interpreter:
+    interpret(P, Params);
+    return 0;
+  case DiffBackend::CodeGenC: {
+    CompiledPipeline CP = jitCompile(P, JitFlags);
+    return CP.run(Params);
+  }
+  }
+  return -1; // unreachable
+}
+
+RawBuffer halide::makeAppOutput(const App &A, int W, int H,
+                                std::shared_ptr<void> *Keep) {
+  const Function &F = A.Output.function();
+  Type T = F.outputType();
+  int Dims = F.dimensions();
+  // Harness convention: 2-D outputs are W x H, 3-D outputs are W x H x 3
+  // color channels (every registered app binds its channel dim with
+  // bound(c, 0, 3)). Fail loudly on anything else rather than allocate
+  // the wrong shape and trip bounds asserts far from the cause.
+  internal_assert(Dims == 2 || Dims == 3)
+      << "makeAppOutput: app " << A.Name << " has a " << Dims
+      << "-D output; extend the harness convention";
+  int C = Dims >= 3 ? 3 : 1;
+  for (const BoundConstraint &B : F.schedule().Bounds)
+    if (Dims >= 3 && B.Var == F.args()[2]) {
+      int64_t Declared = 0;
+      internal_assert(asConstInt(B.Extent, &Declared) && Declared == C)
+          << "makeAppOutput: app " << A.Name
+          << " declares a non-3-channel output; extend the harness "
+             "convention";
+    }
+  int64_t Elems = int64_t(W) * H * C;
+  auto Storage = std::make_shared<std::vector<uint8_t>>(
+      size_t(Elems * T.bytes()), uint8_t(0));
+  *Keep = Storage;
+  RawBuffer Raw;
+  Raw.Host = Storage->data();
+  Raw.ElemType = T;
+  Raw.Dimensions = Dims;
+  Raw.Dim[0] = {0, W, 1};
+  Raw.Dim[1] = {0, H, W};
+  if (Dims >= 3)
+    Raw.Dim[2] = {0, C, W * H};
+  Raw.Owner = Storage;
+  return Raw;
+}
+
+namespace {
+
+/// Reads element I of a buffer as a double (all supported element types).
+double elementAsDouble(const RawBuffer &B, int64_t Off) {
+  const Type &T = B.ElemType;
+  const void *P = static_cast<const uint8_t *>(B.Host) + Off * T.bytes();
+  if (T.isFloat())
+    return T.Bits == 32 ? double(*static_cast<const float *>(P))
+                          : *static_cast<const double *>(P);
+  if (T.isUInt()) {
+    switch (T.Bits) {
+    case 8:
+      return *static_cast<const uint8_t *>(P);
+    case 16:
+      return *static_cast<const uint16_t *>(P);
+    case 32:
+      return *static_cast<const uint32_t *>(P);
+    default:
+      return double(*static_cast<const uint64_t *>(P));
+    }
+  }
+  switch (T.Bits) {
+  case 8:
+    return *static_cast<const int8_t *>(P);
+  case 16:
+    return *static_cast<const int16_t *>(P);
+  case 32:
+    return *static_cast<const int32_t *>(P);
+  default:
+    return double(*static_cast<const int64_t *>(P));
+  }
+}
+
+} // namespace
+
+bool halide::buffersMatch(const RawBuffer &A, const RawBuffer &B,
+                          double FloatTol, int Margin, std::string *Detail) {
+  internal_assert(A.Dimensions == B.Dimensions &&
+                  A.ElemType == B.ElemType)
+      << "buffersMatch: shape/type mismatch";
+  double Tol = A.ElemType.isFloat() ? FloatTol : 0.0;
+
+  int Coords[MaxBufferDims] = {0};
+  int Extents[MaxBufferDims] = {1, 1, 1, 1};
+  for (int D = 0; D < A.Dimensions; ++D) {
+    internal_assert(A.Dim[D].Extent == B.Dim[D].Extent)
+        << "buffersMatch: extent mismatch in dim " << D;
+    Extents[D] = A.Dim[D].Extent;
+  }
+
+  // A margin that swallows the whole frame would make the comparison
+  // vacuously true; report it as a failure so callers pick a frame large
+  // enough to leave an interior.
+  if (A.Dimensions >= 2 && Margin > 0 &&
+      (2 * Margin >= Extents[0] || 2 * Margin >= Extents[1])) {
+    if (Detail)
+      *Detail = "margin " + std::to_string(Margin) +
+                " leaves no interior in a " + std::to_string(Extents[0]) +
+                "x" + std::to_string(Extents[1]) +
+                " frame; nothing was compared";
+    return false;
+  }
+
+  for (int C3 = 0; C3 < Extents[3]; ++C3)
+    for (int C2 = 0; C2 < Extents[2]; ++C2)
+      for (int Y = 0; Y < Extents[1]; ++Y)
+        for (int X = 0; X < Extents[0]; ++X) {
+          if (A.Dimensions >= 2 &&
+              (X < Margin || X >= Extents[0] - Margin || Y < Margin ||
+               Y >= Extents[1] - Margin))
+            continue;
+          Coords[0] = A.Dim[0].Min + X;
+          Coords[1] = A.Dim[1].Min + Y;
+          Coords[2] = A.Dimensions > 2 ? A.Dim[2].Min + C2 : 0;
+          Coords[3] = A.Dimensions > 3 ? A.Dim[3].Min + C3 : 0;
+          int64_t OffA = A.offsetOf(Coords, A.Dimensions);
+          int CoordsB[MaxBufferDims];
+          for (int D = 0; D < B.Dimensions; ++D)
+            CoordsB[D] = B.Dim[D].Min + (Coords[D] - A.Dim[D].Min);
+          int64_t OffB = B.offsetOf(CoordsB, B.Dimensions);
+          double VA = elementAsDouble(A, OffA);
+          double VB = elementAsDouble(B, OffB);
+          bool Match = Tol > 0 ? std::fabs(VA - VB) <= Tol : VA == VB;
+          if (!Match) {
+            if (Detail) {
+              std::ostringstream OS;
+              OS << "first mismatch at (" << Coords[0] << ", " << Coords[1];
+              if (A.Dimensions > 2)
+                OS << ", " << Coords[2];
+              OS << "): " << VA << " vs " << VB;
+              *Detail = OS.str();
+            }
+            return false;
+          }
+        }
+  return true;
+}
+
+std::string DiffReport::summary() const {
+  std::ostringstream OS;
+  for (const DiffMismatch &M : Mismatches)
+    OS << AppName << " [" << M.Comparison << "] schedule {" << M.Schedule
+       << "}: " << M.Detail << "\n";
+  return OS.str();
+}
+
+DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
+  DiffReport R;
+  R.AppName = A.Name;
+  const int W = Opts.Width, H = Opts.Height;
+  ParamBindings Inputs = A.MakeInputs(W, H);
+
+  ScheduleSpace Space(A.Output.function());
+
+  // The semantic reference: breadth-first through the interpreter.
+  std::shared_ptr<void> KeepRef;
+  RawBuffer Ref = makeAppOutput(A, W, H, &KeepRef);
+  Space.apply(Space.breadthFirstGenome());
+  {
+    LoweredPipeline P = lower(A.Output.function());
+    ParamBindings PB = Inputs;
+    PB.bind(A.Output.name(), Ref);
+    runOnBackend(DiffBackend::Interpreter, P, PB);
+  }
+
+  // The reference itself must agree with the hand-written baseline (over
+  // the interior where the edge-extension conventions coincide), possibly
+  // at a larger frame so an interior survives the margin.
+  if (A.Reference) {
+    int BW = Opts.BaselineWidth > 0 ? Opts.BaselineWidth : W;
+    int BH = Opts.BaselineHeight > 0 ? Opts.BaselineHeight : H;
+    std::shared_ptr<void> KeepBRef, KeepBase;
+    RawBuffer BRef = Ref;
+    if (BW != W || BH != H) {
+      BRef = makeAppOutput(A, BW, BH, &KeepBRef);
+      LoweredPipeline P = lower(A.Output.function());
+      ParamBindings PB = A.MakeInputs(BW, BH);
+      PB.bind(A.Output.name(), BRef);
+      runOnBackend(DiffBackend::Interpreter, P, PB);
+    }
+    RawBuffer Base = makeAppOutput(A, BW, BH, &KeepBase);
+    A.Reference(BW, BH, Base);
+    std::string Detail;
+    if (!buffersMatch(BRef, Base, Opts.FloatTolerance, A.ReferenceMargin,
+                      &Detail))
+      R.Mismatches.push_back({"breadth_first",
+                              "interpreter vs hand-written baseline",
+                              Detail});
+  }
+
+  for (const Genome &G : Space.deterministicSample(Opts.ScheduleCount,
+                                                   Opts.Seed)) {
+    std::string Desc = Space.describe(G);
+    Space.apply(G);
+    LoweredPipeline P = lower(A.Output.function());
+
+    std::shared_ptr<void> KeepInterp;
+    RawBuffer OutInterp = makeAppOutput(A, W, H, &KeepInterp);
+    {
+      ParamBindings PB = Inputs;
+      PB.bind(A.Output.name(), OutInterp);
+      runOnBackend(DiffBackend::Interpreter, P, PB);
+      std::string Detail;
+      if (!buffersMatch(Ref, OutInterp, Opts.FloatTolerance, 0, &Detail))
+        R.Mismatches.push_back({Desc, "interpreter vs reference", Detail});
+    }
+
+    if (Opts.RunCodeGenC) {
+      std::shared_ptr<void> KeepC;
+      RawBuffer OutC = makeAppOutput(A, W, H, &KeepC);
+      ParamBindings PB = Inputs;
+      PB.bind(A.Output.name(), OutC);
+      int Rc = runOnBackend(DiffBackend::CodeGenC, P, PB, Opts.JitFlags);
+      std::string Detail;
+      if (Rc != 0)
+        R.Mismatches.push_back(
+            {Desc, "codegen_c exit code", "pipeline returned " +
+                                              std::to_string(Rc)});
+      else if (!buffersMatch(Ref, OutC, Opts.FloatTolerance, 0, &Detail))
+        R.Mismatches.push_back({Desc, "codegen_c vs reference", Detail});
+    }
+    ++R.SchedulesRun;
+  }
+  return R;
+}

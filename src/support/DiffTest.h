@@ -1,0 +1,111 @@
+//===-- support/DiffTest.h - Differential schedule testing ------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential schedule-correctness harness: the paper's core safety
+/// property is that *any* valid schedule of a pipeline computes the same
+/// result as the naive one. For a given app this harness enumerates a
+/// deterministic sample of schedules from the autotuner's search space,
+/// executes each through both back ends (the reference interpreter and the
+/// CodeGenC -> host-compiler -> dlopen path), and checks every output
+/// against the breadth-first reference and, where one exists, the
+/// hand-written C++ baseline from apps/baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_SUPPORT_DIFFTEST_H
+#define HALIDE_SUPPORT_DIFFTEST_H
+
+#include "apps/Apps.h"
+#include "transforms/Lower.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// The execution engines a lowered pipeline can run on.
+enum class DiffBackend { Interpreter, CodeGenC };
+
+/// Uniform backend entry point: executes \p P against \p Params on the
+/// given backend and returns the pipeline's exit code (0 on success). The
+/// interpreter aborts via user_error on internal pipeline assertions; the C
+/// backend reports them through the exit code. \p JitFlags is appended to
+/// the host-compiler command line for the CodeGenC backend.
+int runOnBackend(DiffBackend Backend, const LoweredPipeline &P,
+                 const ParamBindings &Params,
+                 const std::string &JitFlags = std::string());
+
+/// Options controlling a differential run.
+struct DiffOptions {
+  int Width = 96;
+  int Height = 64;
+  /// Frame size for the hand-written-baseline check (0 = use Width/Height).
+  /// Pyramid apps diverge from the baseline's edge-clamping over a border
+  /// band whose width is set by pyramid depth, not frame size, so they
+  /// need a frame large enough that an interior region survives the
+  /// ReferenceMargin — while the schedule sweep itself (which compares
+  /// full frames schedule-vs-schedule) can stay small and fast.
+  int BaselineWidth = 0;
+  int BaselineHeight = 0;
+  /// Schedules drawn from ScheduleSpace::deterministicSample. The first
+  /// five are the canonical variants (breadth-first, max-inline,
+  /// tiled+parallel, vectorized, sliding window); the rest are seeded
+  /// random points in the search space.
+  int ScheduleCount = 6;
+  uint32_t Seed = 2013;
+  /// Absolute per-element tolerance for float outputs. Integer outputs
+  /// must match bit-exactly.
+  double FloatTolerance = 1e-5;
+  /// Also push every schedule through the C backend (compile + dlopen).
+  bool RunCodeGenC = true;
+  /// Host-compiler flags for the C backend. -O0 because this harness
+  /// checks correctness, not speed: the vectorized schedules emit large
+  /// translation units that -O3 compiles an order of magnitude slower.
+  std::string JitFlags = "-O0";
+};
+
+/// One disagreement between a schedule's output and the reference.
+struct DiffMismatch {
+  std::string Schedule;   ///< ScheduleSpace::describe of the genome
+  std::string Comparison; ///< e.g. "interpreter vs reference"
+  std::string Detail;     ///< first differing element and both values
+};
+
+/// The outcome of a differential run over one app.
+struct DiffReport {
+  std::string AppName;
+  int SchedulesRun = 0;
+  std::vector<DiffMismatch> Mismatches;
+  bool ok() const { return Mismatches.empty(); }
+  /// Human-readable multi-line failure description (empty when ok).
+  std::string summary() const;
+};
+
+/// Allocates a dense planar output buffer shaped like the app's output
+/// signature: W x H, plus 3 channels when the output is 3-dimensional.
+/// \p Keep receives the owning storage handle.
+RawBuffer makeAppOutput(const App &A, int W, int H,
+                        std::shared_ptr<void> *Keep);
+
+/// Element-wise comparison of two identically shaped buffers: bit-exact
+/// for integer element types, absolute tolerance \p FloatTol for floats.
+/// \p Margin border elements in dims 0 and 1 are excluded. On mismatch,
+/// *Detail (if non-null) receives the first differing coordinate and both
+/// values.
+bool buffersMatch(const RawBuffer &A, const RawBuffer &B, double FloatTol,
+                  int Margin, std::string *Detail);
+
+/// Runs the full differential sweep for one app. The reference output is
+/// the breadth-first schedule through the interpreter; every sampled
+/// schedule must reproduce it on both backends, and the reference itself
+/// must agree with the app's hand-written baseline where one is wired.
+DiffReport runScheduleDifferential(App &A, const DiffOptions &Opts = {});
+
+} // namespace halide
+
+#endif // HALIDE_SUPPORT_DIFFTEST_H

@@ -135,12 +135,22 @@ private:
     if (Ptr)
       ++Ptr->RefCount;
   }
+  // GCC 12 reports a spurious -Wuse-after-free here when decref is inlined
+  // into loops over containers of IntrusivePtr (it conflates the pointer
+  // freed in one iteration with the decrement in the next).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+#endif
   void decref() {
-    if (Ptr && --Ptr->RefCount == 0) {
-      delete Ptr;
-      Ptr = nullptr;
-    }
+    T *Dead = Ptr;
+    Ptr = nullptr;
+    if (Dead && --Dead->RefCount == 0)
+      delete Dead;
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   T *Ptr = nullptr;
 };

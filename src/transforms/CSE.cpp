@@ -133,7 +133,12 @@ Expr cseOne(const Expr &E) {
   return Result;
 }
 
-/// Applies CSE to the value/index expressions of leaf statements.
+/// Applies CSE to every statement-level expression: store values and
+/// indexes, let/loop/allocation bounds, and branch conditions. Bounds
+/// inference can build allocation extents whose repeated subtrees grow
+/// exponentially with pipeline depth (each pyramid level references the
+/// previous level's bounds twice), so skipping any of these positions
+/// lets pathological expressions through to the back ends.
 class CSEStmt : public IRMutator {
 protected:
   Stmt visit(const Store *Op) override {
@@ -149,6 +154,57 @@ protected:
     if (Value.sameAs(Op->Value))
       return Op;
     return Evaluate::make(Value);
+  }
+
+  Stmt visit(const LetStmt *Op) override {
+    Expr Value = cseOne(Op->Value);
+    Stmt Body = mutate(Op->Body);
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return LetStmt::make(Op->Name, Value, Body);
+  }
+
+  Stmt visit(const AssertStmt *Op) override {
+    Expr Condition = cseOne(Op->Condition);
+    if (Condition.sameAs(Op->Condition))
+      return Op;
+    return AssertStmt::make(Condition, Op->Message);
+  }
+
+  Stmt visit(const For *Op) override {
+    Expr Min = cseOne(Op->MinExpr);
+    Expr Extent = cseOne(Op->Extent);
+    Stmt Body = mutate(Op->Body);
+    if (Min.sameAs(Op->MinExpr) && Extent.sameAs(Op->Extent) &&
+        Body.sameAs(Op->Body))
+      return Op;
+    return For::make(Op->Name, Min, Extent, Op->Kind, Body);
+  }
+
+  Stmt visit(const Allocate *Op) override {
+    bool Changed = false;
+    std::vector<Expr> Extents;
+    Extents.reserve(Op->Extents.size());
+    for (const Expr &E : Op->Extents) {
+      Extents.push_back(cseOne(E));
+      Changed |= !Extents.back().sameAs(E);
+    }
+    Stmt Body = mutate(Op->Body);
+    if (!Changed && Body.sameAs(Op->Body))
+      return Op;
+    return Allocate::make(Op->Name, Op->ElemType, std::move(Extents), Body,
+                          Op->InSharedMemory);
+  }
+
+  Stmt visit(const IfThenElse *Op) override {
+    Expr Condition = cseOne(Op->Condition);
+    Stmt ThenCase = mutate(Op->ThenCase);
+    Stmt ElseCase =
+        Op->ElseCase.defined() ? mutate(Op->ElseCase) : Op->ElseCase;
+    if (Condition.sameAs(Op->Condition) && ThenCase.sameAs(Op->ThenCase) &&
+        ElseCase.sameAs(Op->ElseCase))
+      return Op;
+    return IfThenElse::make(Condition, ThenCase, ElseCase);
   }
 };
 

@@ -10,6 +10,7 @@
 #include "apps/baselines/Baselines.h"
 #include "lang/ImageParam.h"
 #include "lang/Pipeline.h"
+#include "metrics/ScheduleMetrics.h"
 
 #include <gtest/gtest.h>
 
@@ -124,6 +125,70 @@ TEST(StorageFoldingTest, NoFoldAcrossParallelLoop) {
   // Without sliding, each iteration computes its full window.
   EXPECT_EQ(Stats.StoresPerBuffer[F.Blurx.name()],
             int64_t(F.W) * F.H * 3);
+}
+
+namespace {
+
+/// Measures a schedule of the blur fixture through ScheduleMetrics.
+StrategyMetrics measureStrategy(BlurFixture &F, const char *Name,
+                                const LowerOptions &Opts = LowerOptions()) {
+  Buffer<uint8_t> Input(F.W, F.H);
+  Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+  Buffer<uint8_t> Output(F.W, F.H);
+  ParamBindings Params;
+  Params.bind("opt_in", Input);
+  Params.bind(F.Out.name(), Output);
+  LoweredPipeline LP = lower(F.Out.function(), Opts);
+  return analyzeStrategy(Name, LP, Params, 0);
+}
+
+} // namespace
+
+TEST(SlidingFoldingInteraction, Figure3FootprintsViaMetrics) {
+  // Figure 3's three blur strategies must land on their characteristic
+  // intermediate-storage footprints (measured via ScheduleMetrics):
+  // breadth-first materializes the whole blurx plane, full fusion
+  // allocates nothing, and sliding window keeps a few folded scanlines.
+  BlurFixture Breadth;
+  Breadth.Blurx.computeRoot();
+  StrategyMetrics BF = measureStrategy(Breadth, "breadth_first");
+  int64_t FullPlane = int64_t(Breadth.W) * (Breadth.H + 2) * 2; // uint16
+  EXPECT_GE(BF.PeakMemoryBytes, FullPlane);
+  EXPECT_LE(BF.PeakMemoryBytes, FullPlane * 5 / 4);
+
+  BlurFixture Fused; // inline schedule: no intermediate at all
+  StrategyMetrics FU = measureStrategy(Fused, "full_fusion");
+  EXPECT_EQ(FU.PeakMemoryBytes, 0);
+
+  BlurFixture Sliding;
+  Sliding.Blurx.storeRoot().computeAt(Sliding.Out, Sliding.y);
+  StrategyMetrics SW = measureStrategy(Sliding, "sliding_window");
+  EXPECT_GT(SW.PeakMemoryBytes, 0);
+  EXPECT_LE(SW.PeakMemoryBytes, int64_t(Sliding.W) * 8 * 2);
+  EXPECT_LT(SW.PeakMemoryBytes, BF.PeakMemoryBytes / 4);
+}
+
+TEST(SlidingFoldingInteraction, FoldingNeedsSlidingForFootprintWin) {
+  // The two passes compose: sliding window alone trims recomputation but
+  // (without folding) still allocates the full plane; with folding the
+  // same schedule shrinks to a rolling window. Either way the compute
+  // count stays one-store-per-point.
+  BlurFixture WithBoth;
+  WithBoth.Blurx.storeRoot().computeAt(WithBoth.Out, WithBoth.y);
+  StrategyMetrics Both = measureStrategy(WithBoth, "slide+fold");
+
+  BlurFixture NoFold;
+  NoFold.Blurx.storeRoot().computeAt(NoFold.Out, NoFold.y);
+  LowerOptions Opts;
+  Opts.DisableStorageFolding = true;
+  StrategyMetrics SlideOnly = measureStrategy(NoFold, "slide_only", Opts);
+
+  int64_t FullPlane = int64_t(NoFold.W) * (NoFold.H + 2) * 2;
+  EXPECT_GE(SlideOnly.PeakMemoryBytes, FullPlane);
+  EXPECT_LT(Both.PeakMemoryBytes, SlideOnly.PeakMemoryBytes / 4);
+  // Work (loads+stores) is identical: folding changes where values live,
+  // never how many times they are computed.
+  EXPECT_EQ(Both.MemoryOps, SlideOnly.MemoryOps);
 }
 
 TEST(WorkAmplificationTest, MatchesPaperFigure3Shape) {

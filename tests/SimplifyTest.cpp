@@ -4,6 +4,7 @@
 #include "ir/IREquality.h"
 #include "ir/IROperators.h"
 #include "ir/IRPrinter.h"
+#include "analysis/Bounds.h"
 #include "transforms/Substitute.h"
 
 #include <gtest/gtest.h>
@@ -116,6 +117,98 @@ TEST(SimplifyTest, VectorAlgebra) {
   int64_t V;
   EXPECT_TRUE(asConstInt(BN->Value, &V));
   EXPECT_EQ(V, 9);
+}
+
+TEST(SimplifyTest, ConstantFoldingAcrossMinMaxSelect) {
+  // Constants must fold through arbitrary min/max/select nests — the
+  // shapes bounds inference produces for tile and pyramid extents.
+  int64_t V;
+  EXPECT_TRUE(proveConstInt(simplify(min(Expr(3), max(Expr(7), Expr(5)))),
+                            &V));
+  EXPECT_EQ(V, 3);
+  EXPECT_TRUE(proveConstInt(
+      simplify(max(min(Expr(-2), Expr(4)), min(Expr(9), Expr(6)))), &V));
+  EXPECT_EQ(V, 6);
+  EXPECT_TRUE(proveConstInt(
+      simplify(select(Expr(3) < Expr(5), min(Expr(8), Expr(2)),
+                      max(Expr(1), Expr(0)))),
+      &V));
+  EXPECT_EQ(V, 2);
+  // A select whose condition depends on a variable folds only when both
+  // branches agree after folding.
+  Expr X = var("x");
+  EXPECT_TRUE(proveConstInt(
+      simplify(select(X < 0, min(Expr(4), Expr(9)), Expr(2) + Expr(2))),
+      &V));
+  EXPECT_EQ(V, 4);
+  // min distributed over a shared term cancels symbolically.
+  EXPECT_TRUE(proveConstInt(simplify(min(X + 3, X + 7) - X), &V));
+  EXPECT_EQ(V, 3);
+  EXPECT_TRUE(proveConstInt(simplify(max(X - 5, X - 1) - X), &V));
+  EXPECT_EQ(V, -1);
+}
+
+TEST(SimplifyTest, PowerOfTwoDivMod) {
+  // Floor division and modulo by powers of two (the strength-reduction
+  // cases the C backend and vectorizer rely on). Negative numerators must
+  // follow floor semantics, not C truncation.
+  int64_t V;
+  EXPECT_TRUE(proveConstInt(simplify(Expr(-7) / 4), &V));
+  EXPECT_EQ(V, -2); // floor(-1.75)
+  EXPECT_TRUE(proveConstInt(simplify(Expr(-7) % 4), &V));
+  EXPECT_EQ(V, 1); // -7 = -2*4 + 1
+  EXPECT_TRUE(proveConstInt(simplify(Expr(-8) / 8), &V));
+  EXPECT_EQ(V, -1);
+  EXPECT_TRUE(proveConstInt(simplify(Expr(-8) % 8), &V));
+  EXPECT_EQ(V, 0);
+
+  Expr X = var("x");
+  // x*2^k keeps divisibility through shifts of scale.
+  EXPECT_TRUE(equal(simplify((X * 32) / 16), simplify(X * 2)));
+  EXPECT_TRUE(proveConstInt(simplify((X * 32) % 16), &V));
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(proveConstInt(simplify((X * 16 + 12) % 4), &V));
+  EXPECT_EQ(V, 0);
+  // Non-dividing remainders keep the residue.
+  EXPECT_TRUE(proveConstInt(simplify((X * 16 + 13) % 4), &V));
+  EXPECT_EQ(V, 1);
+  // Chained power-of-two divisions collapse into one.
+  EXPECT_TRUE(equal(simplify((X / 2) / 2 / 2), simplify(X / 8)));
+}
+
+TEST(SimplifyTest, RampBroadcastBounds) {
+  // Interval analysis over vector IR: a dense ramp spans
+  // [base, base + (lanes-1)*stride] and a broadcast is a single point —
+  // the facts dense-load classification builds on (paper section 4.5).
+  Scope<Interval> Empty;
+  Expr X = var("x");
+
+  Interval RampB =
+      boundsOfExprInScope(Ramp::make(X, 1, 8), Empty);
+  ASSERT_TRUE(RampB.hasLowerBound());
+  ASSERT_TRUE(RampB.hasUpperBound());
+  EXPECT_TRUE(equal(simplify(RampB.Min), X));
+  EXPECT_TRUE(equal(simplify(RampB.Max), simplify(X + 7)));
+
+  // Negative stride flips which end is the minimum.
+  Interval RevB =
+      boundsOfExprInScope(Ramp::make(X, -2, 4), Empty);
+  EXPECT_TRUE(equal(simplify(RevB.Min), simplify(X - 6)));
+  EXPECT_TRUE(equal(simplify(RevB.Max), X));
+
+  Interval BcastB =
+      boundsOfExprInScope(Broadcast::make(X + 5, 8), Empty);
+  EXPECT_TRUE(equal(simplify(BcastB.Min), simplify(X + 5)));
+  EXPECT_TRUE(equal(simplify(BcastB.Max), simplify(X + 5)));
+
+  // Constant ramps fold to constant endpoints.
+  Interval ConstB =
+      boundsOfExprInScope(Ramp::make(Expr(10), 3, 4), Empty);
+  int64_t Lo = 0, Hi = 0;
+  EXPECT_TRUE(proveConstInt(simplify(ConstB.Min), &Lo));
+  EXPECT_TRUE(proveConstInt(simplify(ConstB.Max), &Hi));
+  EXPECT_EQ(Lo, 10);
+  EXPECT_EQ(Hi, 19);
 }
 
 //===----------------------------------------------------------------------===//
