@@ -1,17 +1,17 @@
-//===-- bench/bench_runner.cpp - Perf-baseline runner --------------------------===//
+//===-- bench/bench_runner.cpp - Perf-baseline runner ---------------------===//
 //
 // Times every registered app under each of its packaged schedules through
-// the JIT backend and (with --json <path>) writes the results as a JSON
-// perf baseline — time-per-pixel per app per schedule — that future
+// the selected backend and (with --json <path>) writes the results as a
+// JSON perf baseline — time-per-pixel per app per schedule — that future
 // optimization PRs benchmark themselves against (BENCH_seed.json at the
 // repo root holds the seed trajectory).
 //
-// Usage: bench_runner [--json <path>] [--width W] [--height H] [--iters N]
+// Usage: bench_runner [--backend interp|jit] [--json <path>]
+//                     [--width W] [--height H] [--iters N]
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "metrics/ScheduleMetrics.h"
 #include "support/DiffTest.h"
 
@@ -28,53 +28,70 @@ namespace {
 struct BenchRow {
   std::string App;
   std::string Schedule;
+  std::string BackendName;
   int Width = 0, Height = 0;
   double Ms = 0;
   double NsPerPixel = 0;
 };
 
 void runOne(App &A, const char *ScheduleName,
-            const std::function<void()> &Apply, int W, int H, int Iters,
-            std::vector<BenchRow> *Rows) {
+            const std::function<void()> &Apply, const Target &T, int W,
+            int H, int Iters, std::vector<BenchRow> *Rows) {
   if (!Apply)
     return;
   Apply();
-  CompiledPipeline CP = jitCompile(lower(A.Output.function()));
+  std::shared_ptr<const Executable> Exe = Pipeline(A.Output).compile(T);
   ParamBindings Params = A.MakeInputs(W, H);
   std::shared_ptr<void> Keep;
   RawBuffer Out = makeAppOutput(A, W, H, &Keep);
   Params.bind(A.Output.name(), Out);
-  double Ms = benchmarkMs(CP, Params, Iters);
+  double Ms = benchmarkMs(*Exe, Params, Iters);
   BenchRow Row;
   Row.App = A.Name;
   Row.Schedule = ScheduleName;
+  Row.BackendName = backendName(T.TargetBackend);
   Row.Width = W;
   Row.Height = H;
   Row.Ms = Ms;
   Row.NsPerPixel = Ms * 1e6 / (double(W) * H);
   Rows->push_back(Row);
-  std::printf("%-16s %-14s %4dx%-4d %9.3f ms  %8.3f ns/px\n", A.Name.c_str(),
-              ScheduleName, W, H, Ms, Row.NsPerPixel);
+  std::printf("%-16s %-14s %-11s %4dx%-4d %9.3f ms  %8.3f ns/px\n",
+              A.Name.c_str(), ScheduleName, Row.BackendName.c_str(), W, H,
+              Ms, Row.NsPerPixel);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string JsonPath;
+  Target T = Target::jit();
   int W = 512, H = 384, Iters = 5;
   for (int I = 1; I < Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+    std::string Arg = Argv[I];
+    std::string BackendText;
+    if (Arg.rfind("--backend=", 0) == 0)
+      BackendText = Arg.substr(std::strlen("--backend="));
+    else if (Arg == "--backend" && I + 1 < Argc)
+      BackendText = Argv[++I];
+
+    if (!BackendText.empty()) {
+      if (!Target::parse(BackendText, &T)) {
+        std::fprintf(stderr, "unknown backend '%s' (try interp or jit)\n",
+                     BackendText.c_str());
+        return 2;
+      }
+    } else if (Arg == "--json" && I + 1 < Argc)
       JsonPath = Argv[++I];
-    else if (!std::strcmp(Argv[I], "--width") && I + 1 < Argc)
+    else if (Arg == "--width" && I + 1 < Argc)
       W = std::atoi(Argv[++I]);
-    else if (!std::strcmp(Argv[I], "--height") && I + 1 < Argc)
+    else if (Arg == "--height" && I + 1 < Argc)
       H = std::atoi(Argv[++I]);
-    else if (!std::strcmp(Argv[I], "--iters") && I + 1 < Argc)
+    else if (Arg == "--iters" && I + 1 < Argc)
       Iters = std::atoi(Argv[++I]);
     else {
       std::fprintf(stderr,
-                   "usage: %s [--json <path>] [--width W] [--height H] "
-                   "[--iters N]\n",
+                   "usage: %s [--backend interp|jit] [--json <path>] "
+                   "[--width W] [--height H] [--iters N]\n",
                    Argv[0]);
       return 2;
     }
@@ -84,8 +101,9 @@ int main(int Argc, char **Argv) {
   std::vector<App> Apps = paperApps();
   Apps.push_back(makeHistogramEqualizeApp());
   for (App &A : Apps) {
-    runOne(A, "breadth_first", A.ScheduleBreadthFirst, W, H, Iters, &Rows);
-    runOne(A, "tuned", A.ScheduleTuned, W, H, Iters, &Rows);
+    runOne(A, "breadth_first", A.ScheduleBreadthFirst, T, W, H, Iters,
+           &Rows);
+    runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
     // local_laplacian's simulated-GPU schedule currently lowers in time
     // exponential in pyramid depth (bounds expressions blow up before the
     // late CSE pass runs), so it is skipped at the paper's 8-level depth
@@ -98,7 +116,7 @@ int main(int Argc, char **Argv) {
                     A.Name.c_str(), "gpu_sim");
       continue;
     }
-    runOne(A, "gpu_sim", A.ScheduleGpu, W, H, Iters, &Rows);
+    runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
   }
 
   if (!JsonPath.empty()) {
@@ -108,11 +126,13 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Json << "{\n  \"frame\": {\"width\": " << W << ", \"height\": " << H
-         << "},\n  \"iters\": " << Iters << ",\n  \"results\": [\n";
+         << "},\n  \"iters\": " << Iters << ",\n  \"backend\": \""
+         << backendName(T.TargetBackend) << "\",\n  \"results\": [\n";
     for (size_t I = 0; I < Rows.size(); ++I) {
       const BenchRow &R = Rows[I];
       Json << "    {\"app\": \"" << R.App << "\", \"schedule\": \""
-           << R.Schedule << "\", \"ms\": " << R.Ms
+           << R.Schedule << "\", \"backend\": \"" << R.BackendName
+           << "\", \"ms\": " << R.Ms
            << ", \"ns_per_pixel\": " << R.NsPerPixel << "}"
            << (I + 1 < Rows.size() ? "," : "") << "\n";
     }

@@ -11,7 +11,6 @@
 
 #include "lang/ImageParam.h"
 #include "lang/Pipeline.h"
-#include "codegen/Jit.h"
 #include "metrics/ScheduleMetrics.h"
 
 #include <cstdio>
@@ -128,8 +127,8 @@ int main() {
     std::vector<Buffer<uint8_t>> KeepT;
     RawBuffer OutRawT;
     ParamBindings TimeParams = makeParams(HT, TW, TH, &OutRawT, &KeepT);
-    CompiledPipeline CP = jitCompile(lower(HT.Out.function()));
-    double Ms = benchmarkMs(CP, TimeParams, 5);
+    auto CP = Pipeline(HT.Out).compile(Target::jit());
+    double Ms = benchmarkMs(*CP, TimeParams, 5);
     if (BreadthMs == 0)
       BreadthMs = Ms;
 

@@ -8,7 +8,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/Jit.h"
 #include "lang/ImageParam.h"
 #include "lang/Pipeline.h"
 #include "metrics/ScheduleMetrics.h"
@@ -86,8 +85,8 @@ int main() {
     ParamBindings Params;
     Params.bind("f4_in", Input);
     Params.bind(Hn.Out.name(), Output);
-    CompiledPipeline CP = jitCompile(lower(Hn.Out.function()));
-    std::printf("%-40s %10.3f\n", O.Name, benchmarkMs(CP, Params, 5));
+    auto CP = Pipeline(Hn.Out).compile(Target::jit());
+    std::printf("%-40s %10.3f\n", O.Name, benchmarkMs(*CP, Params, 5));
   }
   std::printf("\n(The paper's Figure 4 is illustrative; this regenerates "
               "the same choice space with measured times.)\n");

@@ -9,7 +9,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "metrics/ScheduleMetrics.h"
 
 #include <cstdio>
@@ -63,10 +62,10 @@ int main() {
 
     A.ScheduleTuned();
     double TunedMs =
-        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+        benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
     A.ScheduleBreadthFirst();
     double BfMs =
-        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+        benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
     double ExpertMs =
         A.ExpertBaselineMs ? A.ExpertBaselineMs(W, H) : -1.0;
     double NaiveMs = A.NaiveBaselineMs ? A.NaiveBaselineMs(W, H) : -1.0;

@@ -11,7 +11,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "metrics/ScheduleMetrics.h"
 #include "runtime/GpuSim.h"
 
@@ -67,13 +66,13 @@ int main() {
 
     A.ScheduleTuned();
     double CpuMs =
-        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 2);
+        benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 2);
 
     A.ScheduleGpu();
-    CompiledPipeline Gpu = jitCompile(lower(A.Output.function()));
-    Gpu.run(Params); // warm-up
+    auto Gpu = Pipeline(A.Output).compile(Target::gpuSim());
+    Gpu->run(Params); // warm-up
     gpuSim().resetStats();
-    double GpuMs = benchmarkMs(Gpu, Params, 2);
+    double GpuMs = benchmarkMs(*Gpu, Params, 2);
     // Stats accumulate over warm-up + timed runs; report per-frame.
     int64_t Frames = 3; // 1 warm-up inside benchmarkMs + 2 timed
     int64_t Kernels = gpuSim().stats().KernelLaunches / Frames;

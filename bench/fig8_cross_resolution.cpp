@@ -11,7 +11,6 @@
 
 #include "apps/Apps.h"
 #include "autotune/Autotuner.h"
-#include "codegen/Jit.h"
 #include "lang/ImageParam.h"
 #include "metrics/ScheduleMetrics.h"
 
@@ -53,8 +52,8 @@ double timeAt(BlurPipe &P, const Genome &G, const ScheduleSpace &Space,
   Space.apply(G);
   RawBuffer OutRaw;
   ParamBindings Params = bindingsFor(P, W, H, &OutRaw);
-  CompiledPipeline CP = jitCompile(lower(P.Out.function()));
-  return benchmarkMs(CP, Params, 3);
+  auto CP = Pipeline(P.Out).compile(Target::jit());
+  return benchmarkMs(*CP, Params, 3);
 }
 
 } // namespace
@@ -108,10 +107,10 @@ int main() {
   AppParams.bind(A.Output.name(), OutBuf);
   A.ScheduleTuned();
   double CpuMs =
-      benchmarkMs(jitCompile(lower(A.Output.function())), AppParams, 3);
+      benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), AppParams, 3);
   A.ScheduleGpu();
   double GpuOnCpuMs =
-      benchmarkMs(jitCompile(lower(A.Output.function())), AppParams, 3);
+      benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), AppParams, 3);
   std::printf("GPU-style schedule executed on CPU: %.3f ms vs best CPU "
               "schedule %.3f ms (%.1fx slower; paper reports 7x for local "
               "Laplacian)\n",

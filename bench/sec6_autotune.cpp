@@ -9,7 +9,6 @@
 
 #include "apps/Apps.h"
 #include "autotune/Autotuner.h"
-#include "codegen/Jit.h"
 #include "lang/ImageParam.h"
 #include "metrics/ScheduleMetrics.h"
 
@@ -31,7 +30,7 @@ int main() {
     ParamBindings Params = Inputs;
     Params.bind(A.Output.name(), Out);
     double BfMs =
-        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+        benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
 
     TuneOptions Opts;
     Opts.Population = 12;
@@ -60,7 +59,7 @@ int main() {
     ParamBindings Params = Inputs;
     Params.bind(A.Output.name(), Out);
     double BfMs =
-        benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+        benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
 
     TuneOptions Opts;
     Opts.Population = 8;

@@ -7,7 +7,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "examples/ExampleUtils.h"
 #include "metrics/ScheduleMetrics.h"
 #include "runtime/GpuSim.h"
@@ -26,15 +25,15 @@ int main() {
   Params.bind(A.Output.name(), Out);
 
   A.ScheduleTuned();
-  CompiledPipeline Cpu = jitCompile(lower(A.Output.function()));
-  double CpuMs = benchmarkMs(Cpu, Params, 3);
+  auto Cpu = Pipeline(A.Output).compile(Target::jit());
+  double CpuMs = benchmarkMs(*Cpu, Params, 3);
   std::printf("bilateral grid %dx%d\n  tuned CPU schedule: %8.2f ms\n", W, H,
               CpuMs);
 
   gpuSim().resetStats();
   A.ScheduleGpu();
-  CompiledPipeline Gpu = jitCompile(lower(A.Output.function()));
-  double GpuMs = benchmarkMs(Gpu, Params, 3);
+  auto Gpu = Pipeline(A.Output).compile(Target::gpuSim());
+  double GpuMs = benchmarkMs(*Gpu, Params, 3);
   std::printf("  simulated-GPU schedule: %8.2f ms, %lld kernel launches "
               "(simulated device)\n",
               GpuMs, (long long)gpuSim().stats().KernelLaunches);

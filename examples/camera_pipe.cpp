@@ -7,7 +7,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "examples/ExampleUtils.h"
 #include "metrics/ScheduleMetrics.h"
 
@@ -25,10 +24,10 @@ int main() {
   Params.bind(A.Output.name(), Out);
 
   A.ScheduleBreadthFirst();
-  double BfMs = benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+  double BfMs = benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
   A.ScheduleTuned();
   double TunedMs =
-      benchmarkMs(jitCompile(lower(A.Output.function())), Params, 3);
+      benchmarkMs(*Pipeline(A.Output).compile(Target::jit()), Params, 3);
   std::printf("camera pipe %dx%d raw -> RGB\n", W, H);
   std::printf("  breadth-first: %8.2f ms\n", BfMs);
   std::printf("  tuned (fused strips, vectorized): %8.2f ms (%.2fx)\n",

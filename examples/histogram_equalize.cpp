@@ -7,7 +7,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "examples/ExampleUtils.h"
 #include "metrics/ScheduleMetrics.h"
 
@@ -25,8 +24,8 @@ int main() {
   Params.bind(A.Output.name(), Out);
 
   A.ScheduleTuned();
-  CompiledPipeline CP = jitCompile(lower(A.Output.function()));
-  double Ms = benchmarkMs(CP, Params, 5);
+  auto CP = Pipeline(A.Output).compile(Target::jit());
+  double Ms = benchmarkMs(*CP, Params, 5);
   std::printf("histogram equalization %dx%d: %.3f ms/frame\n", W, H, Ms);
 
   // Basic sanity: the output should span (nearly) the full dynamic range.

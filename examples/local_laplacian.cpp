@@ -9,7 +9,6 @@
 
 #include "analysis/CallGraph.h"
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "examples/ExampleUtils.h"
 #include "metrics/ScheduleMetrics.h"
 
@@ -31,13 +30,13 @@ int main() {
   Params.bind(A.Output.name(), Out);
 
   A.ScheduleBreadthFirst();
-  CompiledPipeline Bf = jitCompile(lower(A.Output.function()));
-  double BfMs = benchmarkMs(Bf, Params, 3);
+  auto Bf = Pipeline(A.Output).compile(Target::jit());
+  double BfMs = benchmarkMs(*Bf, Params, 3);
   std::printf("  breadth-first schedule: %8.2f ms\n", BfMs);
 
   A.ScheduleTuned();
-  CompiledPipeline Tuned = jitCompile(lower(A.Output.function()));
-  double TunedMs = benchmarkMs(Tuned, Params, 3);
+  auto Tuned = Pipeline(A.Output).compile(Target::jit());
+  double TunedMs = benchmarkMs(*Tuned, Params, 3);
   std::printf("  tuned schedule:         %8.2f ms  (%.2fx)\n", TunedMs,
               BfMs / TunedMs);
 

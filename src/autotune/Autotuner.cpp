@@ -1,7 +1,7 @@
 //===-- autotune/Autotuner.cpp ----------------------------------------------------=//
 
 #include "autotune/Autotuner.h"
-#include "codegen/Jit.h"
+#include "lang/Pipeline.h"
 #include "metrics/ScheduleMetrics.h"
 
 #include <algorithm>
@@ -22,6 +22,7 @@ struct Individual {
 TuneResult halide::autotune(Func Output, const ParamBindings &Inputs,
                             RawBuffer OutBuf, const TuneOptions &Opts) {
   ScheduleSpace Space(Output.function());
+  Pipeline Pipe(Output);
   std::mt19937 Rng(Opts.Seed);
   TuneResult Result;
 
@@ -33,19 +34,21 @@ TuneResult halide::autotune(Func Output, const ParamBindings &Inputs,
   {
     Genome BF = Space.breadthFirstGenome();
     Space.apply(BF);
-    CompiledPipeline CP = jitCompile(lower(Output.function()));
-    CP.run(Params);
+    Pipe.compile(Target::jit())->run(Params);
     int64_t Bytes = OutBuf.numElements() * OutBuf.ElemType.bytes();
     Reference.assign(static_cast<uint8_t *>(OutBuf.Host),
                      static_cast<uint8_t *>(OutBuf.Host) + Bytes);
   }
 
+  // Fitness evaluation goes through the process compile cache keyed by
+  // schedule fingerprint, so genomes the search revisits (elites, repeated
+  // tournament winners) are neither re-lowered nor re-compiled.
   auto Evaluate = [&](Individual &Ind) {
     if (Ind.Ms >= 0)
       return;
     Space.apply(Ind.G);
-    CompiledPipeline CP = jitCompile(lower(Output.function()));
-    Ind.Ms = benchmarkMs(CP, Params, Opts.BenchIters);
+    Ind.Ms = benchmarkMs(*Pipe.compile(Target::jit()), Params,
+                         Opts.BenchIters);
     ++Result.CandidatesEvaluated;
     if (Opts.VerifyCandidates) {
       int64_t Bytes = OutBuf.numElements() * OutBuf.ElemType.bytes();

@@ -1,8 +1,9 @@
-//===-- codegen/Jit.cpp ----------------------------------------------------------=//
+//===-- codegen/Jit.cpp ---------------------------------------------------===//
 
 #include "codegen/Jit.h"
 #include "codegen/CodeGenC.h"
 #include "runtime/Buffer.h"
+#include "runtime/GpuSim.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,13 +13,14 @@
 
 using namespace halide;
 
-int CompiledPipeline::run(const ParamBindings &Params) const {
-  internal_assert(valid()) << "run of invalid CompiledPipeline";
+int CompiledPipeline::run(const ParamBindings &Params,
+                          ExecutionStats *Stats) const {
+  internal_assert(Fn) << "run of invalid CompiledPipeline";
   std::vector<void *> Bufs;
   std::vector<int64_t> IntArgs;
   std::vector<double> FloatArgs;
 
-  for (const BufferArg &Arg : Buffers) {
+  for (const BufferArg &Arg : P.Buffers) {
     const RawBuffer &Raw = Params.buffer(Arg.Name);
     user_assert(Raw.defined()) << "buffer " << Arg.Name << " is unbound";
     user_assert(Raw.ElemType == Arg.ElemType)
@@ -40,7 +42,7 @@ int CompiledPipeline::run(const ParamBindings &Params) const {
       }
     }
   }
-  for (const ScalarArg &Arg : Scalars) {
+  for (const ScalarArg &Arg : P.Scalars) {
     double Value;
     user_assert(Params.lookupScalar(Arg.Name, &Value))
         << "scalar parameter " << Arg.Name << " is unbound";
@@ -52,17 +54,28 @@ int CompiledPipeline::run(const ParamBindings &Params) const {
   // Never pass null array pointers.
   IntArgs.push_back(0);
   FloatArgs.push_back(0);
-  return Fn(runtimeVTable(), Bufs.data(), IntArgs.data(), FloatArgs.data());
+
+  // On the GpuSim target, report the run's launch statistics as the delta
+  // of the process-wide device counters (runs are serialized per device).
+  GpuStats Before;
+  if (T.TargetBackend == Backend::GpuSim && Stats)
+    Before = gpuSim().stats();
+  int Rc = Fn(runtimeVTable(), Bufs.data(), IntArgs.data(), FloatArgs.data());
+  if (T.TargetBackend == Backend::GpuSim && Stats) {
+    const GpuStats &After = gpuSim().stats();
+    Stats->GpuKernelLaunches = After.KernelLaunches - Before.KernelLaunches;
+    Stats->GpuBlocksExecuted = After.BlocksExecuted - Before.BlocksExecuted;
+  }
+  return Rc;
 }
 
-CompiledPipeline halide::jitCompile(const LoweredPipeline &P,
-                                    const std::string &ExtraFlags) {
-  CompiledPipeline Result;
-  Result.Buffers = P.Buffers;
-  Result.Scalars = P.Scalars;
+std::shared_ptr<CompiledPipeline> halide::jitCompile(const LoweredPipeline &P,
+                                                     const Target &T) {
+  user_assert(T.usesJit()) << "jitCompile on an interpreter Target";
+  std::shared_ptr<CompiledPipeline> Result(new CompiledPipeline(P, T));
 
   std::string FnName = "hl_pipeline";
-  Result.Source = codegenC(P, FnName);
+  Result->Source = codegenC(P, FnName);
 
   char Dir[] = "/tmp/hl_jit_XXXXXX";
   user_assert(mkdtemp(Dir)) << "could not create JIT temp directory";
@@ -70,7 +83,7 @@ CompiledPipeline halide::jitCompile(const LoweredPipeline &P,
   std::string SoPath = std::string(Dir) + "/pipeline.so";
   {
     std::ofstream Out(CPath);
-    Out << Result.Source;
+    Out << Result->Source;
   }
 
   // -ffp-contract=off keeps float results bit-identical across schedules
@@ -79,7 +92,7 @@ CompiledPipeline halide::jitCompile(const LoweredPipeline &P,
   // property at the bit level.
   std::string Cmd = "cc -O3 -march=native -fno-math-errno "
                     "-ffp-contract=off -fPIC -shared " +
-                    ExtraFlags + " -o " + SoPath + " " + CPath +
+                    T.JitFlags + " -o " + SoPath + " " + CPath +
                     " -lm 2> " + std::string(Dir) + "/cc.log";
   int Rc = std::system(Cmd.c_str());
   if (Rc != 0) {
@@ -96,10 +109,10 @@ CompiledPipeline halide::jitCompile(const LoweredPipeline &P,
 
   void *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   user_assert(Handle) << "dlopen failed: " << dlerror();
-  Result.Handle = std::shared_ptr<void>(Handle, [](void *H) { dlclose(H); });
-  Result.Fn = reinterpret_cast<CompiledPipeline::EntryPoint>(
+  Result->Handle = std::shared_ptr<void>(Handle, [](void *H) { dlclose(H); });
+  Result->Fn = reinterpret_cast<CompiledPipeline::EntryPoint>(
       dlsym(Handle, FnName.c_str()));
-  user_assert(Result.Fn) << "generated entry point not found";
+  user_assert(Result->Fn) << "generated entry point not found";
 
   // The artifacts can be removed once loaded; keep the source in memory.
   std::remove(CPath.c_str());

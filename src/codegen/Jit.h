@@ -9,14 +9,16 @@
 /// with the host C compiler into a shared object and loaded with dlopen
 /// (DESIGN.md substitution 1 for the paper's LLVM JIT). The entry point
 /// receives the runtime vtable, so the shared object is self-contained.
+/// CompiledPipeline implements the common Executable interface; a GpuSim
+/// Target shares the same native path but reports the simulated device's
+/// launch statistics through ExecutionStats.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HALIDE_CODEGEN_JIT_H
 #define HALIDE_CODEGEN_JIT_H
 
-#include "runtime/Runtime.h"
-#include "transforms/Lower.h"
+#include "codegen/Executable.h"
 
 #include <memory>
 #include <string>
@@ -24,23 +26,23 @@
 namespace halide {
 
 /// A natively compiled pipeline, ready to run.
-class CompiledPipeline {
+class CompiledPipeline final : public Executable {
 public:
-  CompiledPipeline() = default;
-
-  bool valid() const { return Fn != nullptr; }
-
-  /// Executes the pipeline. All buffers (output and inputs) and scalar
-  /// parameters must be bound in \p Params. Returns the pipeline's exit
-  /// code (0 on success).
-  int run(const ParamBindings &Params) const;
+  /// Executes the pipeline; all buffers and scalars must be bound in
+  /// \p Params. Returns the pipeline's exit code (0 on success). On a
+  /// GpuSim target, \p Stats receives the run's kernel-launch counters.
+  int run(const ParamBindings &Params,
+          ExecutionStats *Stats = nullptr) const override;
 
   /// The generated C source (for inspection and tests).
-  const std::string &source() const { return Source; }
+  const std::string &source() const override { return Source; }
 
 private:
-  friend CompiledPipeline jitCompile(const LoweredPipeline &,
-                                     const std::string &);
+  friend std::shared_ptr<CompiledPipeline> jitCompile(const LoweredPipeline &,
+                                                      const Target &);
+
+  CompiledPipeline(LoweredPipeline P, Target T)
+      : Executable(std::move(P), std::move(T)) {}
 
   using EntryPoint = int32_t (*)(const RuntimeVTable *, void **,
                                  const int64_t *, const double *);
@@ -48,15 +50,13 @@ private:
   std::shared_ptr<void> Handle; // dlopen handle, closed on destruction
   EntryPoint Fn = nullptr;
   std::string Source;
-  // Argument signature (copied from the LoweredPipeline).
-  std::vector<BufferArg> Buffers;
-  std::vector<ScalarArg> Scalars;
 };
 
-/// Emits C for \p P, compiles it with the host compiler, and loads it.
-/// Aborts (user_error) if the host compiler fails.
-CompiledPipeline jitCompile(const LoweredPipeline &P,
-                            const std::string &ExtraFlags = "");
+/// Emits C for \p P, compiles it with the host compiler (appending
+/// \p T.JitFlags to the command line), and loads it. Aborts (user_error)
+/// if the host compiler fails.
+std::shared_ptr<CompiledPipeline> jitCompile(const LoweredPipeline &P,
+                                             const Target &T = Target::jit());
 
 } // namespace halide
 

@@ -87,28 +87,8 @@ void FuncRef::defineUpdateFromExpr(Expr Value) {
 Func::Func() : F(Function(uniqueName("f"))) {}
 Func::Func(const std::string &Name) : F(Function(Name)) {}
 
-FuncRef Func::operator()(Var X) const {
-  return FuncRef(F, {Expr(X)});
-}
-FuncRef Func::operator()(Var X, Var Y) const {
-  return FuncRef(F, {Expr(X), Expr(Y)});
-}
-FuncRef Func::operator()(Var X, Var Y, Var Z) const {
-  return FuncRef(F, {Expr(X), Expr(Y), Expr(Z)});
-}
-FuncRef Func::operator()(Var X, Var Y, Var Z, Var W) const {
-  return FuncRef(F, {Expr(X), Expr(Y), Expr(Z), Expr(W)});
-}
 FuncRef Func::operator()(std::vector<Expr> Args) const {
   return FuncRef(F, std::move(Args));
-}
-FuncRef Func::operator()(Expr X) const { return FuncRef(F, {X}); }
-FuncRef Func::operator()(Expr X, Expr Y) const { return FuncRef(F, {X, Y}); }
-FuncRef Func::operator()(Expr X, Expr Y, Expr Z) const {
-  return FuncRef(F, {X, Y, Z});
-}
-FuncRef Func::operator()(Expr X, Expr Y, Expr Z, Expr W) const {
-  return FuncRef(F, {X, Y, Z, W});
 }
 
 Func &Func::split(const Var &Old, const Var &Outer, const Var &Inner,
@@ -224,12 +204,12 @@ Func &Func::unroll(const Var &V, int Factor) {
   return unroll(Inner);
 }
 
-Func &Func::tile(const Var &X, const Var &Y, const Var &XOuter,
-                 const Var &YOuter, const Var &XInner, const Var &YInner,
-                 Expr XFactor, Expr YFactor) {
-  split(X, XOuter, XInner, XFactor);
-  split(Y, YOuter, YInner, YFactor);
-  return reorder({XInner, YInner, XOuter, YOuter});
+Func &Func::tile(const TileSpec &Spec) {
+  user_assert(Spec.XFactor.defined() && Spec.YFactor.defined())
+      << "tile of " << F.name() << ": TileSpec::factors(...) was not set";
+  split(Spec.X, Spec.XOuter, Spec.XInner, Spec.XFactor);
+  split(Spec.Y, Spec.YOuter, Spec.YInner, Spec.YFactor);
+  return reorder({Spec.XInner, Spec.YInner, Spec.XOuter, Spec.YOuter});
 }
 
 Func &Func::bound(const Var &V, Expr Min, Expr Extent) {
@@ -250,13 +230,12 @@ Func &Func::gpuThreads(const Var &V) {
   return markDim(*this, F, V.name(), ForType::GPUThread);
 }
 
-Func &Func::gpuTile(const Var &X, const Var &Y, const Var &BX, const Var &BY,
-                    const Var &TX, const Var &TY, Expr XSize, Expr YSize) {
-  tile(X, Y, BX, BY, TX, TY, XSize, YSize);
-  gpuBlocks(BY);
-  gpuBlocks(BX);
-  gpuThreads(TY);
-  gpuThreads(TX);
+Func &Func::gpuTile(const TileSpec &Spec) {
+  tile(Spec);
+  gpuBlocks(Spec.YOuter);
+  gpuBlocks(Spec.XOuter);
+  gpuThreads(Spec.YInner);
+  gpuThreads(Spec.XInner);
   return *this;
 }
 

@@ -54,6 +54,34 @@ private:
   std::vector<Expr> Args;
 };
 
+/// Names and factors for a standard 2-D tiling, built fluently so call
+/// sites stay readable instead of threading eight positional arguments:
+///   F.tile(TileSpec(x, y).outer(xo, yo).inner(xi, yi).factors(64, 32));
+/// Unset outer/inner names default to fresh Vars; factors are required.
+struct TileSpec {
+  TileSpec(Var X, Var Y) : X(std::move(X)), Y(std::move(Y)) {}
+
+  TileSpec &outer(Var XO, Var YO) {
+    XOuter = std::move(XO);
+    YOuter = std::move(YO);
+    return *this;
+  }
+  TileSpec &inner(Var XI, Var YI) {
+    XInner = std::move(XI);
+    YInner = std::move(YI);
+    return *this;
+  }
+  TileSpec &factors(Expr XF, Expr YF) {
+    XFactor = std::move(XF);
+    YFactor = std::move(YF);
+    return *this;
+  }
+
+  Var X, Y;
+  Var XOuter, YOuter, XInner, YInner; ///< default: fresh unique names
+  Expr XFactor, YFactor;
+};
+
 /// A handle to a pipeline stage with definition and scheduling APIs. Copies
 /// alias the same stage.
 class Func {
@@ -72,16 +100,12 @@ public:
   const Function &function() const { return F; }
   Function &function() { return F; }
 
-  /// Calling/defining with coordinates.
-  FuncRef operator()(Var X) const;
-  FuncRef operator()(Var X, Var Y) const;
-  FuncRef operator()(Var X, Var Y, Var Z) const;
-  FuncRef operator()(Var X, Var Y, Var Z, Var W) const;
+  /// Calling/defining with coordinates. Any mix of Vars, Exprs, and
+  /// integer literals, of any arity.
   FuncRef operator()(std::vector<Expr> Args) const;
-  FuncRef operator()(Expr X) const;
-  FuncRef operator()(Expr X, Expr Y) const;
-  FuncRef operator()(Expr X, Expr Y, Expr Z) const;
-  FuncRef operator()(Expr X, Expr Y, Expr Z, Expr W) const;
+  template <typename... ArgTs> FuncRef operator()(ArgTs &&...TheArgs) const {
+    return (*this)(std::vector<Expr>{Expr(std::forward<ArgTs>(TheArgs))...});
+  }
 
   //===--------------------------------------------------------------------===//
   // Domain order directives (paper section 3.2, "The Domain Order").
@@ -92,14 +116,9 @@ public:
               Expr Factor);
   /// Reorders dimensions; arguments are innermost-first (Halide convention).
   Func &reorder(const std::vector<Var> &Vars);
-  Func &reorder(const Var &X, const Var &Y) {
-    return reorder(std::vector<Var>{X, Y});
-  }
-  Func &reorder(const Var &X, const Var &Y, const Var &Z) {
-    return reorder(std::vector<Var>{X, Y, Z});
-  }
-  Func &reorder(const Var &X, const Var &Y, const Var &Z, const Var &W) {
-    return reorder(std::vector<Var>{X, Y, Z, W});
+  template <typename... VarTs>
+  Func &reorder(const Var &First, const Var &Second, const VarTs &...Rest) {
+    return reorder(std::vector<Var>{First, Second, Rest...});
   }
   /// Marks a dimension for parallel execution on the thread pool.
   Func &parallel(const Var &V);
@@ -112,9 +131,16 @@ public:
   /// Splits by \p Factor and unrolls the new inner dimension.
   Func &unroll(const Var &V, int Factor);
   /// Standard 2-D tiling: splits x and y and reorders to tile order.
+  Func &tile(const TileSpec &Spec);
+  /// Positional sugar for tile(TileSpec).
   Func &tile(const Var &X, const Var &Y, const Var &XOuter,
              const Var &YOuter, const Var &XInner, const Var &YInner,
-             Expr XFactor, Expr YFactor);
+             Expr XFactor, Expr YFactor) {
+    return tile(TileSpec(X, Y)
+                    .outer(XOuter, YOuter)
+                    .inner(XInner, YInner)
+                    .factors(std::move(XFactor), std::move(YFactor)));
+  }
   /// Declares bounds for a dimension (the paper's bounds annotation).
   Func &bound(const Var &V, Expr Min, Expr Extent);
 
@@ -122,8 +148,15 @@ public:
   Func &gpuBlocks(const Var &V);
   Func &gpuThreads(const Var &V);
   /// Tiles and maps the tiles onto the GPU grid in one step.
+  Func &gpuTile(const TileSpec &Spec);
+  /// Positional sugar for gpuTile(TileSpec).
   Func &gpuTile(const Var &X, const Var &Y, const Var &BX, const Var &BY,
-                const Var &TX, const Var &TY, Expr XSize, Expr YSize);
+                const Var &TX, const Var &TY, Expr XSize, Expr YSize) {
+    return gpuTile(TileSpec(X, Y)
+                       .outer(BX, BY)
+                       .inner(TX, TY)
+                       .factors(std::move(XSize), std::move(YSize)));
+  }
 
   //===--------------------------------------------------------------------===//
   // Call schedule directives (paper section 3.2, "The Call Schedule").

@@ -38,6 +38,8 @@ Function::Function(const std::string &Name) {
       << "Function names may not contain '.': " << Name;
   FunctionContents *FC = new FunctionContents;
   FC->Name = registerUnique(Name, FC);
+  static int64_t NextId = 0;
+  FC->Id = ++NextId;
   C = IntrusivePtr<FunctionContents>(FC);
 }
 
@@ -54,6 +56,11 @@ bool Function::hasUpdateDefinition() const {
 const std::string &Function::name() const {
   internal_assert(defined()) << "name() of undefined Function";
   return C->Name;
+}
+
+int64_t Function::id() const {
+  internal_assert(defined()) << "id() of undefined Function";
+  return C->Id;
 }
 
 const std::vector<std::string> &Function::args() const {

@@ -44,6 +44,12 @@ struct FunctionContents {
   mutable int RefCount = 0;
 
   std::string Name;
+  /// Process-unique serial number. Names are unique only among *live*
+  /// functions — once a Function dies its name can be reused by a stage
+  /// with a different definition — so identity-sensitive consumers (the
+  /// compile cache's schedule fingerprint) key on this id, never on the
+  /// name alone.
+  int64_t Id = 0;
   std::vector<std::string> Args;
   Expr Value;
   std::vector<UpdateDefinition> Updates;
@@ -65,6 +71,9 @@ public:
   bool hasUpdateDefinition() const;
 
   const std::string &name() const;
+  /// Process-unique serial number of this stage (stable across renames,
+  /// never reused by another Function in the same process).
+  int64_t id() const;
   /// The pure argument names, in definition order (x innermost by default).
   const std::vector<std::string> &args() const;
   int dimensions() const { return int(args().size()); }

@@ -9,6 +9,26 @@ ImageParam::ImageParam(Type ElemType, int Dimensions, const std::string &Name)
       Dims(Dimensions) {
   user_assert(Dimensions >= 1 && Dimensions <= 4)
       << "ImageParam must have 1-4 dimensions";
+  declareParam(ParamName, ElemType, /*IsImage=*/true, Dims);
+}
+
+void ImageParam::set(const RawBuffer &B) {
+  user_assert(defined()) << "set on an undefined ImageParam";
+  user_assert(B.defined()) << "ImageParam " << ParamName
+                           << " bound to an undefined buffer";
+  user_assert(B.ElemType == ElemType)
+      << "ImageParam " << ParamName << " declared " << ElemType.str()
+      << " but bound to a " << B.ElemType.str() << " buffer";
+  user_assert(B.Dimensions == Dims)
+      << "ImageParam " << ParamName << " declared " << Dims
+      << "-dimensional but bound to a " << B.Dimensions
+      << "-dimensional buffer";
+  setParamImage(ParamName, B);
+}
+
+void ImageParam::reset() {
+  user_assert(defined()) << "reset on an undefined ImageParam";
+  clearParamValue(ParamName);
 }
 
 Expr ImageParam::operator()(std::vector<Expr> Args) const {

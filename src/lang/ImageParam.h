@@ -14,7 +14,7 @@
 #ifndef HALIDE_LANG_IMAGEPARAM_H
 #define HALIDE_LANG_IMAGEPARAM_H
 
-#include "ir/IROperators.h"
+#include "lang/Param.h"
 
 #include <string>
 #include <vector>
@@ -47,27 +47,17 @@ public:
   Expr height() const { return extent(1); }
   Expr channels() const { return extent(2); }
 
+  /// Binds the input image subsequent realizations read. The buffer must
+  /// match the declared element type and dimensionality (user_error).
+  void set(const RawBuffer &B);
+  template <typename T> void set(const Buffer<T> &B) { set(B.raw()); }
+  /// Clears any bound image; realize() then requires an explicit binding.
+  void reset();
+
 private:
   std::string ParamName;
   Type ElemType;
   int Dims = 0;
-};
-
-/// A scalar runtime parameter (the paper's uniforms).
-template <typename T> class Param {
-public:
-  Param() : ParamName(uniqueName("p")) {}
-  explicit Param(const std::string &Name) : ParamName(Name) {}
-
-  const std::string &name() const { return ParamName; }
-  Type type() const { return typeOf<T>(); }
-
-  operator Expr() const {
-    return Variable::make(typeOf<T>(), ParamName, /*IsParam=*/true);
-  }
-
-private:
-  std::string ParamName;
 };
 
 } // namespace halide

@@ -1,0 +1,63 @@
+//===-- lang/Param.cpp ----------------------------------------------------===//
+
+#include "lang/Param.h"
+
+#include <map>
+
+using namespace halide;
+
+namespace {
+
+/// The process-wide parameter registry. Entries persist for the process
+/// lifetime (parameters are few and small); declarations are overwritten
+/// when a name is reused, so stale values from a discarded Param cannot
+/// leak into a new pipeline that reuses the name.
+std::map<std::string, ParamValue> &paramRegistry() {
+  static std::map<std::string, ParamValue> Registry;
+  return Registry;
+}
+
+} // namespace
+
+void halide::declareParam(const std::string &Name, Type DeclaredType,
+                          bool IsImage, int Dimensions) {
+  ParamValue PV;
+  PV.DeclaredType = DeclaredType;
+  PV.IsImage = IsImage;
+  PV.Dimensions = Dimensions;
+  paramRegistry()[Name] = PV;
+}
+
+void halide::setParamValue(const std::string &Name, Type DeclaredType,
+                           int64_t IntValue, double FloatValue) {
+  auto It = paramRegistry().find(Name);
+  internal_assert(It != paramRegistry().end())
+      << "set of undeclared param " << Name;
+  internal_assert(It->second.DeclaredType == DeclaredType &&
+                  !It->second.IsImage)
+      << "set of param " << Name << " with mismatched declaration";
+  It->second.HasValue = true;
+  It->second.IntValue = IntValue;
+  It->second.FloatValue = FloatValue;
+}
+
+void halide::setParamImage(const std::string &Name, const RawBuffer &Image) {
+  auto It = paramRegistry().find(Name);
+  internal_assert(It != paramRegistry().end() && It->second.IsImage)
+      << "set of undeclared image param " << Name;
+  It->second.HasValue = true;
+  It->second.Image = Image;
+}
+
+void halide::clearParamValue(const std::string &Name) {
+  auto It = paramRegistry().find(Name);
+  if (It == paramRegistry().end())
+    return;
+  It->second.HasValue = false;
+  It->second.Image = RawBuffer();
+}
+
+const ParamValue *halide::findParam(const std::string &Name) {
+  auto It = paramRegistry().find(Name);
+  return It == paramRegistry().end() ? nullptr : &It->second;
+}

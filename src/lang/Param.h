@@ -1,0 +1,100 @@
+//===-- lang/Param.h - Typed scalar runtime parameters ----------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed scalar runtime parameters (the paper's uniforms) with bound
+/// values: a Param<T> both appears symbolically in pipeline definitions
+/// and carries the concrete value the next realize() will use, so call
+/// sites no longer hand-build name->value ParamBindings (those remain the
+/// internal ABI between Pipeline and the back ends). Values live in a
+/// process-wide registry keyed by the parameter's unique name, mirroring
+/// how Function resolves Call names; Pipeline::realize consults it for
+/// every argument the caller did not bind explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_PARAM_H
+#define HALIDE_LANG_PARAM_H
+
+#include "ir/IROperators.h"
+#include "runtime/Buffer.h"
+
+#include <string>
+
+namespace halide {
+
+/// One registered runtime parameter: its declaration (from constructing a
+/// Param<T> or ImageParam) and, once set, its current value.
+struct ParamValue {
+  Type DeclaredType;
+  bool IsImage = false;
+  int Dimensions = 0; ///< image params only
+  bool HasValue = false;
+  int64_t IntValue = 0;    ///< scalar, integer types
+  double FloatValue = 0;   ///< scalar, float types
+  RawBuffer Image;         ///< image params (shares the caller's storage)
+};
+
+/// Declares (or re-declares) a parameter in the process-wide registry.
+/// Re-declaring an existing name resets any bound value.
+void declareParam(const std::string &Name, Type DeclaredType, bool IsImage,
+                  int Dimensions);
+
+/// Binds a scalar value. \p DeclaredType must match the declaration.
+void setParamValue(const std::string &Name, Type DeclaredType,
+                   int64_t IntValue, double FloatValue);
+
+/// Binds an image. Type/dimension checks happen at the ImageParam wrapper.
+void setParamImage(const std::string &Name, const RawBuffer &Image);
+
+/// Clears a bound value but keeps the declaration.
+void clearParamValue(const std::string &Name);
+
+/// Looks up a declared parameter; null if the name was never declared.
+const ParamValue *findParam(const std::string &Name);
+
+/// A scalar runtime parameter (the paper's uniforms). Symbolic in
+/// definitions; set() binds the value used by subsequent realizations.
+template <typename T> class Param {
+public:
+  Param() : ParamName(uniqueName("p")) { declare(); }
+  explicit Param(const std::string &Name) : ParamName(Name) { declare(); }
+  /// Declares and immediately binds \p Initial.
+  Param(const std::string &Name, T Initial) : ParamName(Name) {
+    declare();
+    set(Initial);
+  }
+
+  const std::string &name() const { return ParamName; }
+  Type type() const { return typeOf<T>(); }
+
+  /// Binds the value subsequent realizations observe.
+  void set(T Value) {
+    setParamValue(ParamName, type(), int64_t(Value), double(Value));
+  }
+  /// Returns the bound value; aborts (user_error) if unbound.
+  T get() const;
+
+  operator Expr() const {
+    return Variable::make(typeOf<T>(), ParamName, /*IsParam=*/true);
+  }
+
+private:
+  void declare() { declareParam(ParamName, type(), /*IsImage=*/false, 0); }
+
+  std::string ParamName;
+};
+
+template <typename T> T Param<T>::get() const {
+  const ParamValue *PV = findParam(ParamName);
+  user_assert(PV && PV->HasValue)
+      << "Param " << ParamName << " read before set()";
+  return type().isFloat() ? T(PV->FloatValue) : T(PV->IntValue);
+}
+
+} // namespace halide
+
+#endif // HALIDE_LANG_PARAM_H

@@ -1,23 +1,212 @@
-//===-- lang/Pipeline.cpp --------------------------------------------------------=//
+//===-- lang/Pipeline.cpp -------------------------------------------------===//
 
 #include "lang/Pipeline.h"
-#include "codegen/Interpreter.h"
+
+#include "analysis/CallGraph.h"
 #include "ir/IRPrinter.h"
+
+#include <map>
+#include <sstream>
 
 using namespace halide;
 
-LoweredPipeline Pipeline::lowerPipeline(const LowerOptions &Opts) {
-  return lower(Output.function(), Opts);
+namespace {
+
+/// The process-wide compile cache. Lowered pipelines are keyed by the
+/// schedule fingerprint alone (both backends share one lowering);
+/// executables additionally key on the backend and its flags. Sized for
+/// the autotuner's working set; wholesale eviction keeps the bookkeeping
+/// trivial and outstanding shared_ptrs keep in-use artifacts alive.
+constexpr size_t MaxCacheEntries = 256;
+
+struct CompileCache {
+  std::map<std::string, LoweredPipeline> Lowered;
+  std::map<std::string, std::shared_ptr<const Executable>> Executables;
+  CompileCounters Counters;
+};
+
+CompileCache &cache() {
+  static CompileCache C;
+  return C;
 }
 
-std::string Pipeline::loweredText(const LowerOptions &Opts) {
-  return stmtToString(lowerPipeline(Opts).Body);
+void appendDims(std::ostringstream &OS, const std::vector<Dim> &Dims) {
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << Dims[I].Var << ":" << forTypeName(Dims[I].Kind);
+  }
 }
 
-ExecutionStats Pipeline::realize(RawBuffer Out, ParamBindings Params,
-                                 const LowerOptions &Opts) {
+} // namespace
+
+std::string Pipeline::scheduleFingerprint(const Target &T) const {
+  std::map<std::string, Function> Env = buildEnvironment(Output.function());
+  std::ostringstream OS;
+  OS << Output.name();
+  for (const auto &[Name, F] : Env) {
+    const Schedule &S = F.schedule();
+    // Name#id: names are unique only among live functions, so the
+    // process-unique id keeps a dead stage's cache entries from aliasing
+    // a new stage that reused its name with a different definition.
+    OS << "|" << Name << "#" << F.id() << "{" << S.str();
+    for (const BoundConstraint &B : S.Bounds)
+      OS << " bound(" << B.Var << "," << exprToString(B.Min) << ","
+         << exprToString(B.Extent) << ")";
+    for (const UpdateDefinition &U : F.updates()) {
+      OS << " update(";
+      appendDims(OS, U.Dims);
+      OS << ")";
+    }
+    OS << "}";
+  }
+  OS << "@" << T.lowerOptionsFingerprint();
+  return OS.str();
+}
+
+/// The lowered pipeline for \p LowerKey, lowering (and counting) on miss.
+const LoweredPipeline &Pipeline::cachedLowered(const std::string &LowerKey,
+                                               const Target &T) {
+  CompileCache &C = cache();
+  auto LIt = C.Lowered.find(LowerKey);
+  if (LIt == C.Lowered.end()) {
+    ++C.Counters.Lowerings;
+    if (C.Lowered.size() >= MaxCacheEntries)
+      C.Lowered.clear();
+    LIt = C.Lowered.emplace(LowerKey, lower(Output.function(), T)).first;
+  }
+  return LIt->second;
+}
+
+std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
+  CompileCache &C = cache();
+  std::string LowerKey = scheduleFingerprint(T);
+  std::string ExecKey =
+      LowerKey + "##" + backendName(T.TargetBackend) + "#" + T.JitFlags;
+
+  auto EIt = C.Executables.find(ExecKey);
+  if (EIt != C.Executables.end()) {
+    ++C.Counters.CacheHits;
+    return EIt->second;
+  }
+
+  const LoweredPipeline &LP = cachedLowered(LowerKey, T);
+  if (T.usesJit())
+    ++C.Counters.BackendCompiles;
+  std::shared_ptr<const Executable> Exe = makeExecutable(LP, T);
+  if (C.Executables.size() >= MaxCacheEntries)
+    C.Executables.clear();
+  C.Executables[ExecKey] = Exe;
+  return Exe;
+}
+
+LoweredPipeline Pipeline::lowerPipeline(const Target &T) {
+  return cachedLowered(scheduleFingerprint(T), T);
+}
+
+std::string Pipeline::loweredText(const Target &T) {
+  return stmtToString(lowerPipeline(T).Body);
+}
+
+std::vector<Argument> Pipeline::inferArguments(const Target &T) {
+  LoweredPipeline LP = lowerPipeline(T);
+  std::vector<Argument> Args;
+  for (const BufferArg &B : LP.Buffers) {
+    Argument A;
+    A.Name = B.Name;
+    A.ArgKind =
+        B.IsOutput ? Argument::Kind::OutputBuffer : Argument::Kind::InputBuffer;
+    A.ArgType = B.ElemType;
+    A.Dimensions = B.Dimensions;
+    Args.push_back(std::move(A));
+  }
+  for (const ScalarArg &S : LP.Scalars) {
+    Argument A;
+    A.Name = S.Name;
+    A.ArgKind = Argument::Kind::Scalar;
+    A.ArgType = S.ArgType;
+    Args.push_back(std::move(A));
+  }
+  return Args;
+}
+
+namespace {
+
+/// Completes \p Full against the pipeline's signature: every buffer and
+/// scalar the caller did not bind explicitly is resolved from the
+/// Param<T>/ImageParam registry, with clear user_errors naming the
+/// argument on the unbound and type-mismatch paths.
+void bindInferredArguments(const LoweredPipeline &LP, ParamBindings *Full) {
+  for (const BufferArg &Arg : LP.Buffers) {
+    if (!Full->hasBuffer(Arg.Name)) {
+      user_assert(!Arg.IsOutput)
+          << "output buffer '" << Arg.Name << "' is unbound";
+      const ParamValue *PV = findParam(Arg.Name);
+      user_assert(PV && PV->HasValue)
+          << "input image '" << Arg.Name
+          << "' is unbound: call ImageParam::set(buffer) before realize, "
+             "or bind it explicitly in the ParamBindings";
+      Full->bind(Arg.Name, PV->Image);
+    }
+    const RawBuffer &B = Full->buffer(Arg.Name);
+    user_assert(B.ElemType == Arg.ElemType)
+        << (Arg.IsOutput ? "output" : "input") << " buffer '" << Arg.Name
+        << "' has element type " << B.ElemType.str()
+        << " but the pipeline expects " << Arg.ElemType.str();
+    user_assert(B.Dimensions == Arg.Dimensions)
+        << (Arg.IsOutput ? "output" : "input") << " buffer '" << Arg.Name
+        << "' is " << B.Dimensions << "-dimensional but the pipeline expects "
+        << Arg.Dimensions << " dimensions";
+  }
+  for (const ScalarArg &Arg : LP.Scalars) {
+    double Ignored;
+    if (Full->lookupScalar(Arg.Name, &Ignored))
+      continue; // bound explicitly
+    const ParamValue *PV = findParam(Arg.Name);
+    user_assert(PV)
+        << "scalar parameter '" << Arg.Name
+        << "' is unbound: no Param with that name exists; construct a "
+           "Param and set() it, or bind the value explicitly";
+    user_assert(!PV->IsImage)
+        << "parameter '" << Arg.Name
+        << "' is an ImageParam but the pipeline expects a scalar";
+    user_assert(PV->DeclaredType == Arg.ArgType)
+        << "scalar parameter '" << Arg.Name << "' is declared "
+        << PV->DeclaredType.str() << " but the pipeline expects "
+        << Arg.ArgType.str();
+    user_assert(PV->HasValue) << "scalar parameter '" << Arg.Name
+                              << "' is unbound: call set() before realize";
+    if (Arg.ArgType.isFloat())
+      Full->bindFloat(Arg.Name, PV->FloatValue);
+    else
+      Full->bindInt(Arg.Name, PV->IntValue);
+  }
+}
+
+} // namespace
+
+ExecutionStats Pipeline::realize(RawBuffer Out, const ParamBindings &Params,
+                                 const Target &T) {
   user_assert(Out.defined()) << "realize into an undefined buffer";
-  LoweredPipeline P = lowerPipeline(Opts);
-  Params.bind(P.Name, Out);
-  return interpret(P, Params);
+  std::shared_ptr<const Executable> Exe = compile(T);
+  const LoweredPipeline &LP = Exe->pipeline();
+
+  ParamBindings Full = Params;
+  Full.bind(LP.Name, Out);
+  bindInferredArguments(LP, &Full);
+
+  ExecutionStats Stats;
+  int Rc = Exe->run(Full, &Stats);
+  user_assert(Rc == 0) << "pipeline " << LP.Name << " on target " << T.str()
+                       << " failed with exit code " << Rc;
+  return Stats;
+}
+
+const CompileCounters &Pipeline::compileCounters() {
+  return cache().Counters;
+}
+
+void Pipeline::clearCompileCache() {
+  cache().Lowered.clear();
+  cache().Executables.clear();
 }

@@ -5,27 +5,61 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Ties the front end to the compiler and back ends: a Pipeline wraps an
-/// output Func, lowers it (with its current schedule), and executes it via
-/// the reference interpreter or the JIT backend. The generated pipeline is
-/// a single procedure taking the output buffer, input image buffers, and
-/// scalar parameters — mirroring the paper's C-ABI entry point.
+/// The single entry point tying the front end to the compiler and back
+/// ends: Pipeline::compile(Target) lowers the output Func with its current
+/// schedules and hands it to the backend the Target names, caching the
+/// result under a schedule+options fingerprint so an unchanged pipeline is
+/// compiled once and run over many frames (paper section 4, Figure 5).
+/// Pipeline::realize dispatches through that cache and resolves every
+/// pipeline argument the caller did not bind explicitly from the Param<T>
+/// / ImageParam registry; name->value ParamBindings remain the internal
+/// ABI between Pipeline and the back ends.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HALIDE_LANG_PIPELINE_H
 #define HALIDE_LANG_PIPELINE_H
 
+#include "codegen/Executable.h"
 #include "lang/Func.h"
+#include "lang/Param.h"
+#include "lang/Target.h"
 #include "runtime/Runtime.h"
 #include "runtime/Tracing.h"
 #include "transforms/Lower.h"
 
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace halide {
 
-/// A compiled-on-demand image processing pipeline.
+/// One formal argument of a compiled pipeline, as reported by
+/// Pipeline::inferArguments: the output buffer, an input image, or a
+/// scalar parameter.
+struct Argument {
+  enum class Kind : uint8_t { OutputBuffer, InputBuffer, Scalar };
+
+  std::string Name;
+  Kind ArgKind = Kind::Scalar;
+  Type ArgType;
+  int Dimensions = 0; ///< buffers only
+
+  bool isBuffer() const { return ArgKind != Kind::Scalar; }
+};
+
+/// Process-wide compile-cache counters, exposed so tests and benchmarks
+/// can assert compile-once-run-many behaviour.
+struct CompileCounters {
+  /// Full lowering runs (schedule synthesis through simplification).
+  int64_t Lowerings = 0;
+  /// Host C compiler invocations (JitC/GpuSim backends).
+  int64_t BackendCompiles = 0;
+  /// compile() calls served entirely from the executable cache.
+  int64_t CacheHits = 0;
+};
+
+/// A compile-once, run-many image processing pipeline.
 class Pipeline {
 public:
   explicit Pipeline(Func Output) : Output(std::move(Output)) {}
@@ -33,34 +67,63 @@ public:
   Func &output() { return Output; }
   const Func &output() const { return Output; }
 
-  /// Lowers with the Funcs' current schedules.
-  LoweredPipeline lowerPipeline(const LowerOptions &Opts = LowerOptions());
+  /// Compiles for \p T (lowering with the Funcs' current schedules), or
+  /// returns the cached artifact when an identical pipeline was already
+  /// compiled. The artifact stays valid even if schedules change later.
+  std::shared_ptr<const Executable> compile(const Target &T = Target());
+
+  /// The lowered pipeline for \p T (cached by the same fingerprint).
+  LoweredPipeline lowerPipeline(const Target &T = Target());
 
   /// The lowered statement pretty-printed (for inspection and tests).
-  std::string loweredText(const LowerOptions &Opts = LowerOptions());
+  std::string loweredText(const Target &T = Target());
 
-  /// Executes on the reference interpreter, writing into \p Out (which
-  /// also determines the requested output region). Extra inputs and
-  /// scalars come from \p Params.
-  ExecutionStats realize(RawBuffer Out, ParamBindings Params = ParamBindings(),
-                         const LowerOptions &Opts = LowerOptions());
+  /// The pipeline's formal arguments: output buffer first, then input
+  /// images in name order, then scalar parameters in name order.
+  std::vector<Argument> inferArguments(const Target &T = Target());
+
+  /// Compiles (through the cache) and executes on \p T's backend, writing
+  /// into \p Out (which also determines the requested output region).
+  /// Arguments not bound in \p Params are resolved from Param<T> /
+  /// ImageParam bound values; a missing or type-mismatched argument is a
+  /// user_error naming it. Aborts (user_error) if the pipeline reports a
+  /// nonzero exit code. Each call re-fingerprints the schedules (O(number
+  /// of stages)) to detect schedule changes; frame loops that know the
+  /// schedule is frozen can hold the compile() result and call run().
+  ExecutionStats realize(RawBuffer Out,
+                         const ParamBindings &Params = ParamBindings(),
+                         const Target &T = Target());
 
   template <typename T>
   ExecutionStats realize(Buffer<T> &Out,
-                         ParamBindings Params = ParamBindings(),
-                         const LowerOptions &Opts = LowerOptions()) {
-    return realize(Out.raw(), std::move(Params), Opts);
+                         const ParamBindings &Params = ParamBindings(),
+                         const Target &Tgt = Target()) {
+    return realize(Out.raw(), Params, Tgt);
   }
 
   /// Allocates a W x H output buffer, realizes into it, and returns it.
   template <typename T>
-  Buffer<T> realize2D(int W, int H, ParamBindings Params = ParamBindings()) {
+  Buffer<T> realize2D(int W, int H, const ParamBindings &Params = ParamBindings(),
+                      const Target &Tgt = Target()) {
     Buffer<T> Out(W, H);
-    realize(Out.raw(), std::move(Params));
+    realize(Out.raw(), Params, Tgt);
     return Out;
   }
 
+  /// The cache key for the current schedules under \p T's feature flags:
+  /// every stage's Schedule::str() (plus bounds and update-stage loop
+  /// orders) concatenated with the Target's lowering options.
+  std::string scheduleFingerprint(const Target &T = Target()) const;
+
+  /// Process-wide compile-cache statistics (tests assert on deltas).
+  static const CompileCounters &compileCounters();
+  /// Drops every cached lowered pipeline and executable (counters stay).
+  static void clearCompileCache();
+
 private:
+  const LoweredPipeline &cachedLowered(const std::string &LowerKey,
+                                       const Target &T);
+
   Func Output;
 };
 

@@ -1,0 +1,61 @@
+//===-- lang/Target.cpp ---------------------------------------------------===//
+
+#include "lang/Target.h"
+
+#include "support/Util.h"
+
+#include <vector>
+
+using namespace halide;
+
+const char *halide::backendName(Backend B) {
+  switch (B) {
+  case Backend::Interpreter:
+    return "interpreter";
+  case Backend::JitC:
+    return "jit_c";
+  case Backend::GpuSim:
+    return "gpu_sim";
+  }
+  return "unknown";
+}
+
+std::string Target::lowerOptionsFingerprint() const {
+  std::string S;
+  if (DisableSlidingWindow)
+    S += "-no_sliding_window";
+  if (DisableStorageFolding)
+    S += "-no_storage_folding";
+  return S;
+}
+
+std::string Target::str() const {
+  return backendName(TargetBackend) + lowerOptionsFingerprint() +
+         (JitFlags.empty() ? "" : " [" + JitFlags + "]");
+}
+
+bool Target::parse(const std::string &Text, Target *Out) {
+  std::vector<std::string> Parts = splitString(Text, '-');
+  if (Parts.empty())
+    return false;
+  Target T;
+  const std::string &Name = Parts[0];
+  if (Name == "interp" || Name == "interpreter")
+    T.TargetBackend = Backend::Interpreter;
+  else if (Name == "jit" || Name == "jit_c")
+    T.TargetBackend = Backend::JitC;
+  else if (Name == "gpu" || Name == "gpu_sim")
+    T.TargetBackend = Backend::GpuSim;
+  else
+    return false;
+  for (size_t I = 1; I < Parts.size(); ++I) {
+    if (Parts[I] == "no_sliding_window")
+      T.DisableSlidingWindow = true;
+    else if (Parts[I] == "no_storage_folding")
+      T.DisableStorageFolding = true;
+    else
+      return false;
+  }
+  *Out = T;
+  return true;
+}

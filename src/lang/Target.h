@@ -1,0 +1,106 @@
+//===-- lang/Target.h - Execution-target description ------------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single description of *how* a pipeline is compiled and executed: the
+/// backend (reference interpreter, the C-source JIT, or the simulated-GPU
+/// device reached through the JIT) plus the feature flags that used to live
+/// in LowerOptions. A Target is part of the compile-cache key, so two
+/// realizations with the same schedules and the same Target share one
+/// compiled artifact (paper section 4, Figure 5: compile once, run over
+/// many frames).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_LANG_TARGET_H
+#define HALIDE_LANG_TARGET_H
+
+#include <string>
+
+namespace halide {
+
+/// The execution engines a pipeline can be compiled for.
+enum class Backend : uint8_t {
+  /// The tree-walking reference interpreter (gathers ExecutionStats).
+  Interpreter,
+  /// CodeGenC -> host C compiler -> dlopen native execution.
+  JitC,
+  /// Native execution through JitC with kernel launches routed to the
+  /// simulated GPU device; realize() reports the launch statistics.
+  GpuSim,
+};
+
+const char *backendName(Backend B);
+
+/// A complete execution-target description. Value-semantic; the default is
+/// the reference interpreter with all optimizations enabled.
+struct Target {
+  Backend TargetBackend = Backend::Interpreter;
+
+  // Feature flags that steer lowering (previously LowerOptions). They are
+  // part of the lowering fingerprint: changing one recompiles.
+  /// Skip the sliding window optimization (for ablation benchmarks).
+  bool DisableSlidingWindow = false;
+  /// Skip storage folding (for ablation benchmarks).
+  bool DisableStorageFolding = false;
+
+  /// Extra flags appended to the host C compiler command line (JitC/GpuSim
+  /// backends only), e.g. "-O0" for compile-time-sensitive sweeps.
+  std::string JitFlags;
+
+  Target() = default;
+  explicit Target(Backend B) : TargetBackend(B) {}
+
+  static Target interpreter() { return Target(Backend::Interpreter); }
+  static Target jit() { return Target(Backend::JitC); }
+  static Target gpuSim() { return Target(Backend::GpuSim); }
+
+  /// Fluent option setters (Targets are tiny; pass-by-value chaining).
+  Target withJitFlags(std::string Flags) const {
+    Target T = *this;
+    T.JitFlags = std::move(Flags);
+    return T;
+  }
+  Target withoutSlidingWindow() const {
+    Target T = *this;
+    T.DisableSlidingWindow = true;
+    return T;
+  }
+  Target withoutStorageFolding() const {
+    Target T = *this;
+    T.DisableStorageFolding = true;
+    return T;
+  }
+
+  bool usesJit() const { return TargetBackend != Backend::Interpreter; }
+
+  /// Canonical textual form, e.g. "jit_c-no_sliding_window". Used in logs
+  /// and as part of compile-cache keys.
+  std::string str() const;
+
+  /// The lowering-relevant portion of str(): backend excluded, so the
+  /// interpreter and JIT share one lowered pipeline per schedule.
+  std::string lowerOptionsFingerprint() const;
+
+  /// Parses the bench_runner --backend flag form: "interp"/"interpreter",
+  /// "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
+  /// "-no_sliding_window"/"-no_storage_folding" features. JitFlags have no
+  /// textual form here — str()'s " [flags]" suffix is display-only.
+  /// Returns false (and leaves \p Out alone) on an unknown name.
+  static bool parse(const std::string &Text, Target *Out);
+
+  bool operator==(const Target &Other) const {
+    return TargetBackend == Other.TargetBackend &&
+           DisableSlidingWindow == Other.DisableSlidingWindow &&
+           DisableStorageFolding == Other.DisableStorageFolding &&
+           JitFlags == Other.JitFlags;
+  }
+  bool operator!=(const Target &Other) const { return !(*this == Other); }
+};
+
+} // namespace halide
+
+#endif // HALIDE_LANG_TARGET_H

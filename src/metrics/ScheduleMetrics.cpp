@@ -1,8 +1,8 @@
 //===-- metrics/ScheduleMetrics.cpp ----------------------------------------------=//
 
 #include "metrics/ScheduleMetrics.h"
+#include "codegen/Executable.h"
 #include "codegen/Interpreter.h"
-#include "codegen/Jit.h"
 
 #include <algorithm>
 #include <chrono>
@@ -32,16 +32,16 @@ StrategyMetrics halide::analyzeStrategy(const std::string &Name,
   return M;
 }
 
-double halide::benchmarkMs(const CompiledPipeline &CP,
+double halide::benchmarkMs(const Executable &Exe,
                            const ParamBindings &Params, int Iters) {
   internal_assert(Iters >= 1);
   // Warm-up run (page faults, thread pool spin-up).
-  CP.run(Params);
+  Exe.run(Params);
   std::vector<double> Times;
   Times.reserve(size_t(Iters));
   for (int I = 0; I < Iters; ++I) {
     auto Start = std::chrono::steady_clock::now();
-    CP.run(Params);
+    Exe.run(Params);
     auto End = std::chrono::steady_clock::now();
     Times.push_back(
         std::chrono::duration<double, std::milli>(End - Start).count());

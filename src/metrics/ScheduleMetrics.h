@@ -50,9 +50,10 @@ StrategyMetrics analyzeStrategy(const std::string &Name, LoweredPipeline &P,
                                 const ParamBindings &Params,
                                 int64_t BreadthFirstOps);
 
-/// Median wall-clock milliseconds of \p Iters runs of a compiled pipeline.
-double benchmarkMs(const class CompiledPipeline &CP,
-                   const ParamBindings &Params, int Iters = 5);
+/// Median wall-clock milliseconds of \p Iters runs of a compiled pipeline
+/// (any Executable: JIT, GpuSim, or the interpreter).
+double benchmarkMs(const class Executable &Exe, const ParamBindings &Params,
+                   int Iters = 5);
 
 } // namespace halide
 

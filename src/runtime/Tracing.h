@@ -38,6 +38,10 @@ struct ExecutionStats {
   /// a later load of it, per buffer (Figure 3's "max reuse distance").
   /// Only populated when reuse tracking is enabled.
   std::map<std::string, int64_t> MaxReuseDistance;
+  /// Kernel launches / blocks executed on the simulated GPU device during
+  /// this run. Only populated by the GpuSim backend.
+  int64_t GpuKernelLaunches = 0;
+  int64_t GpuBlocksExecuted = 0;
 
   int64_t totalStores() const {
     int64_t Total = 0;

@@ -3,8 +3,7 @@
 #include "support/DiffTest.h"
 
 #include "autotune/ScheduleSpace.h"
-#include "codegen/Interpreter.h"
-#include "codegen/Jit.h"
+#include "codegen/Executable.h"
 #include "ir/IROperators.h"
 
 #include <cmath>
@@ -14,19 +13,9 @@
 
 using namespace halide;
 
-int halide::runOnBackend(DiffBackend Backend, const LoweredPipeline &P,
-                         const ParamBindings &Params,
-                         const std::string &JitFlags) {
-  switch (Backend) {
-  case DiffBackend::Interpreter:
-    interpret(P, Params);
-    return 0;
-  case DiffBackend::CodeGenC: {
-    CompiledPipeline CP = jitCompile(P, JitFlags);
-    return CP.run(Params);
-  }
-  }
-  return -1; // unreachable
+int halide::runOnBackend(const Target &T, const LoweredPipeline &P,
+                         const ParamBindings &Params) {
+  return makeExecutable(P, T)->run(Params);
 }
 
 RawBuffer halide::makeAppOutput(const App &A, int W, int H,
@@ -179,16 +168,20 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
   ParamBindings Inputs = A.MakeInputs(W, H);
 
   ScheduleSpace Space(A.Output.function());
+  Pipeline Pipe(A.Output);
 
-  // The semantic reference: breadth-first through the interpreter.
+  // The semantic reference: breadth-first through the interpreter. Going
+  // through Pipeline::lowerPipeline keys the lowering into the process
+  // compile cache, so repeated differential runs (and the canonical
+  // schedules the sample re-draws) stop paying re-lowering.
   std::shared_ptr<void> KeepRef;
   RawBuffer Ref = makeAppOutput(A, W, H, &KeepRef);
   Space.apply(Space.breadthFirstGenome());
   {
-    LoweredPipeline P = lower(A.Output.function());
+    LoweredPipeline P = Pipe.lowerPipeline();
     ParamBindings PB = Inputs;
     PB.bind(A.Output.name(), Ref);
-    runOnBackend(DiffBackend::Interpreter, P, PB);
+    runOnBackend(Target::interpreter(), P, PB);
   }
 
   // The reference itself must agree with the hand-written baseline (over
@@ -201,10 +194,10 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
     RawBuffer BRef = Ref;
     if (BW != W || BH != H) {
       BRef = makeAppOutput(A, BW, BH, &KeepBRef);
-      LoweredPipeline P = lower(A.Output.function());
+      LoweredPipeline P = Pipe.lowerPipeline();
       ParamBindings PB = A.MakeInputs(BW, BH);
       PB.bind(A.Output.name(), BRef);
-      runOnBackend(DiffBackend::Interpreter, P, PB);
+      runOnBackend(Target::interpreter(), P, PB);
     }
     RawBuffer Base = makeAppOutput(A, BW, BH, &KeepBase);
     A.Reference(BW, BH, Base);
@@ -220,14 +213,14 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
                                                    Opts.Seed)) {
     std::string Desc = Space.describe(G);
     Space.apply(G);
-    LoweredPipeline P = lower(A.Output.function());
+    LoweredPipeline P = Pipe.lowerPipeline();
 
     std::shared_ptr<void> KeepInterp;
     RawBuffer OutInterp = makeAppOutput(A, W, H, &KeepInterp);
     {
       ParamBindings PB = Inputs;
       PB.bind(A.Output.name(), OutInterp);
-      runOnBackend(DiffBackend::Interpreter, P, PB);
+      runOnBackend(Target::interpreter(), P, PB);
       std::string Detail;
       if (!buffersMatch(Ref, OutInterp, Opts.FloatTolerance, 0, &Detail))
         R.Mismatches.push_back({Desc, "interpreter vs reference", Detail});
@@ -238,7 +231,8 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       RawBuffer OutC = makeAppOutput(A, W, H, &KeepC);
       ParamBindings PB = Inputs;
       PB.bind(A.Output.name(), OutC);
-      int Rc = runOnBackend(DiffBackend::CodeGenC, P, PB, Opts.JitFlags);
+      int Rc =
+          runOnBackend(Target::jit().withJitFlags(Opts.JitFlags), P, PB);
       std::string Detail;
       if (Rc != 0)
         R.Mismatches.push_back(

@@ -28,17 +28,13 @@
 
 namespace halide {
 
-/// The execution engines a lowered pipeline can run on.
-enum class DiffBackend { Interpreter, CodeGenC };
-
-/// Uniform backend entry point: executes \p P against \p Params on the
-/// given backend and returns the pipeline's exit code (0 on success). The
-/// interpreter aborts via user_error on internal pipeline assertions; the C
-/// backend reports them through the exit code. \p JitFlags is appended to
-/// the host-compiler command line for the CodeGenC backend.
-int runOnBackend(DiffBackend Backend, const LoweredPipeline &P,
-                 const ParamBindings &Params,
-                 const std::string &JitFlags = std::string());
+/// Uniform backend entry point: executes \p P on the backend \p T names
+/// and returns the pipeline's exit code (0 on success). The interpreter
+/// aborts via user_error on internal pipeline assertions; the JIT backends
+/// report them through the exit code. Compiles fresh on every call — the
+/// schedule sweep wants per-schedule artifacts, not the process cache.
+int runOnBackend(const Target &T, const LoweredPipeline &P,
+                 const ParamBindings &Params);
 
 /// Options controlling a differential run.
 struct DiffOptions {

@@ -56,8 +56,7 @@ bool isBufferMetadata(const std::string &Name,
 
 } // namespace
 
-LoweredPipeline halide::lower(const Function &Output,
-                              const LowerOptions &Opts) {
+LoweredPipeline halide::lower(const Function &Output, const Target &T) {
   user_assert(Output.hasPureDefinition())
       << "cannot lower undefined function " << Output.name();
 
@@ -90,9 +89,9 @@ LoweredPipeline halide::lower(const Function &Output,
   // Section 4.3: reuse and memory optimizations. These run before global
   // simplification: they pattern-match the bounds-let preambles that
   // simplification would otherwise inline away.
-  if (!Opts.DisableSlidingWindow)
+  if (!T.DisableSlidingWindow)
     S = slidingWindow(S, Result.Env);
-  if (!Opts.DisableStorageFolding)
+  if (!T.DisableStorageFolding)
     S = storageFolding(S, Result.Env);
   S = simplify(S);
 

@@ -17,6 +17,7 @@
 #define HALIDE_TRANSFORMS_LOWER_H
 
 #include "lang/Function.h"
+#include "lang/Target.h"
 
 #include <map>
 #include <string>
@@ -38,14 +39,6 @@ struct ScalarArg {
   Type ArgType;
 };
 
-/// Options controlling lowering.
-struct LowerOptions {
-  /// Skip the sliding window optimization (for ablation benchmarks).
-  bool DisableSlidingWindow = false;
-  /// Skip storage folding (for ablation benchmarks).
-  bool DisableStorageFolding = false;
-};
-
 /// A fully lowered pipeline: the statement plus its argument signature.
 struct LoweredPipeline {
   std::string Name;
@@ -60,9 +53,10 @@ struct LoweredPipeline {
   std::map<std::string, Function> Env;
 };
 
-/// Lowers the pipeline producing \p Output.
-LoweredPipeline lower(const Function &Output,
-                      const LowerOptions &Opts = LowerOptions());
+/// Lowers the pipeline producing \p Output. Only the Target's feature
+/// flags steer lowering; the backend choice is applied later, when the
+/// lowered pipeline is handed to a back end (codegen/Executable.h).
+LoweredPipeline lower(const Function &Output, const Target &T = Target());
 
 } // namespace halide
 

@@ -8,7 +8,6 @@
 
 #include "analysis/CallGraph.h"
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 
 #include <cstring>
 #include <gtest/gtest.h>
@@ -50,16 +49,16 @@ void expectSameOutput(App &A, const std::function<void()> &SchedA,
   RawBuffer OutB = makeOutput(A, W, H, &KeepB);
 
   SchedA();
-  CompiledPipeline CA = jitCompile(lower(A.Output.function()));
+  auto CA = Pipeline(A.Output).compile(Target::jit());
   ParamBindings PA = Inputs;
   PA.bind(A.Output.name(), OutA);
-  ASSERT_EQ(CA.run(PA), 0);
+  ASSERT_EQ(CA->run(PA), 0);
 
   SchedB();
-  CompiledPipeline CB = jitCompile(lower(A.Output.function()));
+  auto CB = Pipeline(A.Output).compile(Target::jit());
   ParamBindings PB = Inputs;
   PB.bind(A.Output.name(), OutB);
-  ASSERT_EQ(CB.run(PB), 0);
+  ASSERT_EQ(CB->run(PB), 0);
 
   int64_t Bytes = OutA.numElements() * OutA.ElemType.bytes();
   EXPECT_EQ(std::memcmp(OutA.Host, OutB.Host, size_t(Bytes)), 0)
@@ -151,8 +150,8 @@ TEST(AppsTest, HistogramEqualizeFlattensHistogram) {
   ParamBindings Params = A.MakeInputs(W, H);
   Buffer<uint8_t> Out(W, H);
   Params.bind(A.Output.name(), Out);
-  CompiledPipeline CP = jitCompile(lower(A.Output.function()));
-  ASSERT_EQ(CP.run(Params), 0);
+  auto CP = Pipeline(A.Output).compile(Target::jit());
+  ASSERT_EQ(CP->run(Params), 0);
   int MinV = 255, MaxV = 0;
   for (int Y = 0; Y < H; ++Y)
     for (int X = 0; X < W; ++X) {

@@ -85,8 +85,8 @@ TEST_P(BackendParityTest, JitMatchesInterpreter) {
   {
     ParamBindings PJ = Params;
     PJ.bind(P.Out.name(), FromJit);
-    CompiledPipeline CP = jitCompile(LP);
-    ASSERT_EQ(CP.run(PJ), 0);
+    auto CP = jitCompile(LP);
+    ASSERT_EQ(CP->run(PJ), 0);
   }
   for (int Y = 0; Y < H; ++Y)
     for (int X = 0; X < W; ++X)
@@ -150,12 +150,12 @@ TEST(GpuSimTest, KernelLaunchCounting) {
   Func F("gpu_count");
   F(x, y) = x + 2 * y;
   F.gpuTile(x, y, bx, by, tx, ty, 8, 8);
-  CompiledPipeline CP = jitCompile(lower(F.function()));
+  auto CP = jitCompile(lower(F.function()));
   Buffer<int32_t> Out(32, 16);
   ParamBindings Params;
   Params.bind(F.name(), Out);
   gpuSim().resetStats();
-  ASSERT_EQ(CP.run(Params), 0);
+  ASSERT_EQ(CP->run(Params), 0);
   EXPECT_EQ(gpuSim().stats().KernelLaunches, 1);
   EXPECT_EQ(gpuSim().stats().BlocksExecuted, (32 / 8) * (16 / 8));
   for (int Y = 0; Y < 16; ++Y)
@@ -169,13 +169,13 @@ TEST(JitTest, ScalarParamsThreadThrough) {
   Param<float> S("jit_s");
   Func F("jit_params");
   F(x) = cast(Float(32), x + K) * S;
-  CompiledPipeline CP = jitCompile(lower(F.function()));
+  auto CP = jitCompile(lower(F.function()));
   Buffer<float> Out(8);
   ParamBindings Params;
   Params.bind(F.name(), Out);
   Params.bindInt("jit_k", 10);
   Params.bindFloat("jit_s", 0.5);
-  ASSERT_EQ(CP.run(Params), 0);
+  ASSERT_EQ(CP->run(Params), 0);
   EXPECT_FLOAT_EQ(Out(6), 8.0f);
 }
 
@@ -196,8 +196,8 @@ TEST(JitTest, UpdateStagesRunNatively) {
   ParamBindings Params;
   Params.bind("jit_hist_in", Input);
   Params.bind(Hist.name(), Out);
-  CompiledPipeline CP = jitCompile(lower(Hist.function()));
-  ASSERT_EQ(CP.run(Params), 0);
+  auto CP = jitCompile(lower(Hist.function()));
+  ASSERT_EQ(CP->run(Params), 0);
 
   std::vector<uint32_t> Want(256, 0);
   for (int Y = 0; Y < H; ++Y)

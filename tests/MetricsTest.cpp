@@ -9,7 +9,6 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
-#include "codegen/Jit.h"
 #include "lang/ImageParam.h"
 #include "metrics/ScheduleMetrics.h"
 #include "transforms/Lower.h"
@@ -71,8 +70,8 @@ TEST(MetricsTest, Figure3Shape) {
 TEST(MetricsTest, BenchmarkMsPositive) {
   MetricsFixture F;
   F.A.ScheduleTuned();
-  CompiledPipeline CP = jitCompile(lower(F.A.Output.function()));
-  double Ms = benchmarkMs(CP, F.Params, 3);
+  auto CP = Pipeline(F.A.Output).compile(Target::jit());
+  double Ms = benchmarkMs(*CP, F.Params, 3);
   EXPECT_GT(Ms, 0.0);
   EXPECT_LT(Ms, 10000.0);
 }

@@ -37,13 +37,13 @@ struct BlurFixture {
   }
 
   ExecutionStats run(Buffer<uint8_t> *OutImg = nullptr,
-                     const LowerOptions &Opts = LowerOptions()) {
+                     const Target &T = Target()) {
     Buffer<uint8_t> Input(W, H);
     Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
     Buffer<uint8_t> Output(W, H);
     ParamBindings Params;
     Params.bind("opt_in", Input);
-    ExecutionStats Stats = Pipeline(Out).realize(Output, Params, Opts);
+    ExecutionStats Stats = Pipeline(Out).realize(Output, Params, T);
     if (OutImg)
       *OutImg = Output;
     return Stats;
@@ -64,9 +64,7 @@ TEST(SlidingWindowTest, EliminatesRecomputation) {
 TEST(SlidingWindowTest, WithoutItRecomputes) {
   BlurFixture F;
   F.Blurx.storeRoot().computeAt(F.Out, F.y);
-  LowerOptions Opts;
-  Opts.DisableSlidingWindow = true;
-  ExecutionStats Stats = F.run(nullptr, Opts);
+  ExecutionStats Stats = F.run(nullptr, Target().withoutSlidingWindow());
   // Each of the H iterations computes a full 3-scanline window.
   EXPECT_EQ(Stats.StoresPerBuffer[F.Blurx.name()],
             int64_t(F.W) * F.H * 3);
@@ -78,9 +76,7 @@ TEST(SlidingWindowTest, ResultUnchanged) {
   B.Blurx.storeRoot().computeAt(B.Out, B.y);
   Buffer<uint8_t> WithOpt, WithoutOpt;
   A.run(&WithOpt);
-  LowerOptions Opts;
-  Opts.DisableSlidingWindow = true;
-  B.run(&WithoutOpt, Opts);
+  B.run(&WithoutOpt, Target().withoutSlidingWindow());
   for (int Y = 0; Y < A.H; ++Y)
     for (int X = 0; X < A.W; ++X)
       ASSERT_EQ(WithOpt(X, Y), WithoutOpt(X, Y));
@@ -90,11 +86,10 @@ TEST(StorageFoldingTest, ShrinksPeakMemory) {
   BlurFixture F;
   F.Blurx.storeRoot().computeAt(F.Out, F.y);
   ExecutionStats Folded = F.run();
-  LowerOptions Opts;
-  Opts.DisableStorageFolding = true;
   BlurFixture G;
   G.Blurx.storeRoot().computeAt(G.Out, G.y);
-  ExecutionStats Unfolded = G.run(nullptr, Opts);
+  ExecutionStats Unfolded =
+      G.run(nullptr, Target().withoutStorageFolding());
   // Unfolded: the full blurx plane. Folded: a few scanlines.
   EXPECT_GE(Unfolded.PeakAllocationBytes,
             int64_t(F.W) * (F.H + 2) * 2);
@@ -131,14 +126,14 @@ namespace {
 
 /// Measures a schedule of the blur fixture through ScheduleMetrics.
 StrategyMetrics measureStrategy(BlurFixture &F, const char *Name,
-                                const LowerOptions &Opts = LowerOptions()) {
+                                const Target &T = Target()) {
   Buffer<uint8_t> Input(F.W, F.H);
   Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
   Buffer<uint8_t> Output(F.W, F.H);
   ParamBindings Params;
   Params.bind("opt_in", Input);
   Params.bind(F.Out.name(), Output);
-  LoweredPipeline LP = lower(F.Out.function(), Opts);
+  LoweredPipeline LP = lower(F.Out.function(), T);
   return analyzeStrategy(Name, LP, Params, 0);
 }
 
@@ -179,9 +174,8 @@ TEST(SlidingFoldingInteraction, FoldingNeedsSlidingForFootprintWin) {
 
   BlurFixture NoFold;
   NoFold.Blurx.storeRoot().computeAt(NoFold.Out, NoFold.y);
-  LowerOptions Opts;
-  Opts.DisableStorageFolding = true;
-  StrategyMetrics SlideOnly = measureStrategy(NoFold, "slide_only", Opts);
+  StrategyMetrics SlideOnly =
+      measureStrategy(NoFold, "slide_only", Target().withoutStorageFolding());
 
   int64_t FullPlane = int64_t(NoFold.W) * (NoFold.H + 2) * 2;
   EXPECT_GE(SlideOnly.PeakMemoryBytes, FullPlane);

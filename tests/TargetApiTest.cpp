@@ -1,0 +1,377 @@
+//===-- tests/TargetApiTest.cpp - Target/compile/realize API ----------------===//
+//
+// The unified execution API: Target-directed dispatch, the compiled-
+// pipeline cache (compile-once-run-many, fingerprint invalidation on
+// schedule changes), Param<T>/ImageParam argument inference with clear
+// user_errors on the unbound and type-mismatch paths, and the TileSpec /
+// variadic scheduling sugar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ImageParam.h"
+#include "lang/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+namespace {
+
+/// A two-stage pipeline with an input image and two scalar params.
+struct ParamPipe {
+  ImageParam In;
+  Param<int32_t> Gain;
+  Param<float> Offset;
+  Var x{"x"}, y{"y"};
+  Func F;
+
+  explicit ParamPipe(const std::string &Tag)
+      : In(UInt(8), 2, Tag + "_in"), Gain(Tag + "_gain"),
+        Offset(Tag + "_offset"), F(Tag + "_out") {
+    F(x, y) = cast(Float(32), In(clamp(x, 0, In.width() - 1),
+                                 clamp(y, 0, In.height() - 1)) *
+                                  Gain) +
+              Offset;
+  }
+};
+
+Buffer<uint8_t> makeInput(int W, int H) {
+  Buffer<uint8_t> B(W, H);
+  B.fill([](int X, int Y) { return (X * 7 + Y * 13) % 256; });
+  return B;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compile-cache behaviour.
+//===----------------------------------------------------------------------===//
+
+TEST(CompileCacheTest, UnchangedScheduleCompilesOnce) {
+  Var x("x"), y("y");
+  Func F("cc_f"), G("cc_g");
+  F(x, y) = x + y * 3;
+  G(x, y) = F(x, y) + F(x + 1, y);
+  F.computeRoot();
+  Pipeline Pipe(G);
+
+  CompileCounters Before = Pipeline::compileCounters();
+  Buffer<int32_t> Out1(16, 8), Out2(16, 8);
+  Pipe.realize(Out1, ParamBindings(), Target::jit());
+  Pipe.realize(Out2, ParamBindings(), Target::jit());
+
+  const CompileCounters &After = Pipeline::compileCounters();
+  // One lowering, one host-compiler invocation; the second realize is a
+  // pure cache hit (the acceptance criterion for compile-once-run-many).
+  EXPECT_EQ(After.Lowerings - Before.Lowerings, 1);
+  EXPECT_EQ(After.BackendCompiles - Before.BackendCompiles, 1);
+  EXPECT_GE(After.CacheHits - Before.CacheHits, 1);
+
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 16; ++X) {
+      EXPECT_EQ(Out1(X, Y), (X + Y * 3) + (X + 1 + Y * 3));
+      EXPECT_EQ(Out2(X, Y), Out1(X, Y));
+    }
+}
+
+TEST(CompileCacheTest, ScheduleTouchInvalidatesFingerprint) {
+  Var x("x"), y("y");
+  Func F("ci_f"), G("ci_g");
+  F(x, y) = x * 2 + y;
+  G(x, y) = F(x, y) + 1;
+  F.computeRoot();
+  Pipeline Pipe(G);
+  Buffer<int32_t> Out(16, 8);
+
+  Pipe.realize(Out, ParamBindings(), Target::jit());
+  std::string FpBefore = Pipe.scheduleFingerprint();
+
+  CompileCounters Mid = Pipeline::compileCounters();
+  // Touching any stage's schedule must produce a different fingerprint and
+  // force a fresh lower + compile.
+  G.vectorize(x, 4);
+  EXPECT_NE(Pipe.scheduleFingerprint(), FpBefore);
+  Pipe.realize(Out, ParamBindings(), Target::jit());
+  const CompileCounters &After = Pipeline::compileCounters();
+  EXPECT_EQ(After.Lowerings - Mid.Lowerings, 1);
+  EXPECT_EQ(After.BackendCompiles - Mid.BackendCompiles, 1);
+
+  // Restoring an identical schedule restores the fingerprint, and the
+  // original artifact is served from the cache without recompiling.
+  G.function().resetSchedule();
+  F.computeRoot();
+  EXPECT_EQ(Pipe.scheduleFingerprint(), FpBefore);
+  CompileCounters Mid2 = Pipeline::compileCounters();
+  Pipe.realize(Out, ParamBindings(), Target::jit());
+  const CompileCounters &Final = Pipeline::compileCounters();
+  EXPECT_EQ(Final.Lowerings - Mid2.Lowerings, 0);
+  EXPECT_EQ(Final.BackendCompiles - Mid2.BackendCompiles, 0);
+  EXPECT_GE(Final.CacheHits - Mid2.CacheHits, 1);
+}
+
+TEST(CompileCacheTest, ReusedNameWithNewDefinitionDoesNotAlias) {
+  // Function names are unique only among *live* stages. Cached artifacts
+  // pin their stages alive (so a colliding new stage would be suffixed),
+  // but once the cache is cleared the name genuinely recycles — and the
+  // fingerprint's process-unique function id must keep any survivors
+  // (e.g. an Executable still held by a caller) from aliasing the new
+  // definition.
+  Buffer<int32_t> Out1(8), Out2(8);
+  {
+    Var x("x");
+    Func F("cr_f");
+    F(x) = x * 2;
+    Pipeline(F).realize(Out1, ParamBindings(), Target::jit());
+  }
+  Pipeline::clearCompileCache(); // unpins the first stage; name recycles
+  {
+    Var x("x");
+    Func F("cr_f");
+    F(x) = x * 2 + 1;
+    EXPECT_EQ(F.name(), "cr_f"); // the name really was reused
+    Pipeline(F).realize(Out2, ParamBindings(), Target::jit());
+  }
+  for (int X = 0; X < 8; ++X) {
+    EXPECT_EQ(Out1(X), X * 2);
+    EXPECT_EQ(Out2(X), X * 2 + 1);
+  }
+}
+
+TEST(CompileCacheTest, BackendsShareOneLowering) {
+  Var x("x"), y("y");
+  Func F("cs_f");
+  F(x, y) = x + 10 * y;
+  Pipeline Pipe(F);
+  Buffer<int32_t> OutI(8, 8), OutJ(8, 8);
+
+  CompileCounters Before = Pipeline::compileCounters();
+  Pipe.realize(OutI, ParamBindings(), Target::interpreter());
+  Pipe.realize(OutJ, ParamBindings(), Target::jit());
+  const CompileCounters &After = Pipeline::compileCounters();
+  // The interpreter and the JIT key their executables separately but share
+  // the lowered pipeline.
+  EXPECT_EQ(After.Lowerings - Before.Lowerings, 1);
+  EXPECT_EQ(After.BackendCompiles - Before.BackendCompiles, 1);
+
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      EXPECT_EQ(OutI(X, Y), OutJ(X, Y));
+}
+
+TEST(CompileCacheTest, LoweringFlagsAreInTheFingerprint) {
+  Var x("x"), y("y");
+  Func F("cf_f");
+  F(x, y) = x + y;
+  Pipeline Pipe(F);
+  EXPECT_NE(Pipe.scheduleFingerprint(Target()),
+            Pipe.scheduleFingerprint(Target().withoutSlidingWindow()));
+  EXPECT_EQ(Pipe.scheduleFingerprint(Target::interpreter()),
+            Pipe.scheduleFingerprint(Target::jit()));
+}
+
+//===----------------------------------------------------------------------===//
+// Target dispatch.
+//===----------------------------------------------------------------------===//
+
+TEST(TargetTest, ParseRoundTrips) {
+  Target T;
+  EXPECT_TRUE(Target::parse("interp", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::Interpreter);
+  EXPECT_TRUE(Target::parse("jit", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::JitC);
+  EXPECT_TRUE(Target::parse("gpu_sim", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::GpuSim);
+  EXPECT_TRUE(Target::parse("jit-no_sliding_window", &T));
+  EXPECT_TRUE(T.DisableSlidingWindow);
+  EXPECT_FALSE(Target::parse("cuda", &T));
+}
+
+TEST(TargetTest, GpuSimTargetReportsKernelLaunches) {
+  Var x("x"), y("y"), bx("bx"), by("by"), tx("tx"), ty("ty");
+  Func F("tg_gpu");
+  F(x, y) = x * 3 + y;
+  F.gpuTile(x, y, bx, by, tx, ty, 8, 8);
+  Pipeline Pipe(F);
+  Buffer<int32_t> Out(32, 16);
+  ExecutionStats Stats =
+      Pipe.realize(Out, ParamBindings(), Target::gpuSim());
+  EXPECT_EQ(Stats.GpuKernelLaunches, 1);
+  EXPECT_EQ(Stats.GpuBlocksExecuted, (32 / 8) * (16 / 8));
+  for (int Y = 0; Y < 16; ++Y)
+    for (int X = 0; X < 32; ++X)
+      ASSERT_EQ(Out(X, Y), X * 3 + Y);
+}
+
+TEST(TargetTest, InterpreterStillGathersStats) {
+  Var x("x"), y("y");
+  Func F("ts_f"), G("ts_g");
+  F(x, y) = x + y;
+  G(x, y) = F(x, y) * 2;
+  F.computeRoot();
+  Buffer<int32_t> Out(8, 4);
+  ExecutionStats Stats = Pipeline(G).realize(Out);
+  EXPECT_EQ(Stats.StoresPerBuffer[F.name()], int64_t(8 * 4));
+}
+
+//===----------------------------------------------------------------------===//
+// Param<T> / ImageParam argument inference.
+//===----------------------------------------------------------------------===//
+
+TEST(ParamInferTest, BoundParamsResolveOnBothBackends) {
+  ParamPipe P("pi_a");
+  Buffer<uint8_t> Input = makeInput(16, 8);
+  P.In.set(Input);
+  P.Gain.set(3);
+  P.Offset.set(0.5f);
+
+  Pipeline Pipe(P.F);
+  Buffer<float> OutI(16, 8), OutJ(16, 8);
+  Pipe.realize(OutI, ParamBindings(), Target::interpreter());
+  Pipe.realize(OutJ, ParamBindings(), Target::jit());
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 16; ++X) {
+      EXPECT_FLOAT_EQ(OutI(X, Y), float(Input(X, Y)) * 3 + 0.5f);
+      EXPECT_EQ(OutI(X, Y), OutJ(X, Y));
+    }
+
+  // Re-setting a Param does not touch the schedule fingerprint: the next
+  // realize reuses the compiled artifact with the new value.
+  CompileCounters Before = Pipeline::compileCounters();
+  P.Gain.set(5);
+  Pipe.realize(OutJ, ParamBindings(), Target::jit());
+  EXPECT_EQ(Pipeline::compileCounters().BackendCompiles,
+            Before.BackendCompiles);
+  EXPECT_FLOAT_EQ(OutJ(1, 1), float(Input(1, 1)) * 5 + 0.5f);
+
+  EXPECT_EQ(P.Gain.get(), 5);
+}
+
+TEST(ParamInferTest, ExplicitBindingsStillWinOverRegistry) {
+  ParamPipe P("pi_b");
+  Buffer<uint8_t> Input = makeInput(8, 8);
+  P.In.set(Input);
+  P.Gain.set(2);
+  P.Offset.set(0.0f);
+  ParamBindings Explicit;
+  Explicit.bindInt(P.Gain.name(), 7); // overrides the registry value
+  Buffer<float> Out(8, 8);
+  Pipeline(P.F).realize(Out, Explicit);
+  EXPECT_FLOAT_EQ(Out(2, 3), float(Input(2, 3)) * 7);
+}
+
+TEST(ParamInferTest, InferArgumentsReportsSignature) {
+  ParamPipe P("pi_c");
+  std::vector<Argument> Args = Pipeline(P.F).inferArguments();
+  ASSERT_EQ(Args.size(), 4u);
+  EXPECT_EQ(Args[0].Name, P.F.name());
+  EXPECT_EQ(Args[0].ArgKind, Argument::Kind::OutputBuffer);
+  EXPECT_EQ(Args[0].ArgType, Float(32));
+  EXPECT_EQ(Args[0].Dimensions, 2);
+  EXPECT_EQ(Args[1].Name, P.In.name());
+  EXPECT_EQ(Args[1].ArgKind, Argument::Kind::InputBuffer);
+  EXPECT_EQ(Args[1].ArgType, UInt(8));
+  // Scalars in name order.
+  EXPECT_EQ(Args[2].Name, P.Gain.name());
+  EXPECT_EQ(Args[2].ArgKind, Argument::Kind::Scalar);
+  EXPECT_EQ(Args[2].ArgType, Int(32));
+  EXPECT_EQ(Args[3].Name, P.Offset.name());
+  EXPECT_EQ(Args[3].ArgType, Float(32));
+}
+
+TEST(ParamInferDeathTest, UnboundScalarNamesTheArgument) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ParamPipe P("pd_a");
+  P.In.set(makeInput(8, 8));
+  P.Gain.set(1);
+  // Offset is declared but never set().
+  Buffer<float> Out(8, 8);
+  EXPECT_DEATH(Pipeline(P.F).realize(Out),
+               "scalar parameter 'pd_a_offset' is unbound");
+}
+
+TEST(ParamInferDeathTest, UnboundImageNamesTheArgument) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ParamPipe P("pd_b");
+  P.Gain.set(1);
+  P.Offset.set(0.0f);
+  Buffer<float> Out(8, 8);
+  EXPECT_DEATH(Pipeline(P.F).realize(Out),
+               "input image 'pd_b_in' is unbound");
+}
+
+TEST(ParamInferDeathTest, ScalarTypeMismatchNamesTheArgument) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ParamPipe P("pd_c");
+  P.In.set(makeInput(8, 8));
+  P.Offset.set(0.0f);
+  // Re-declare the gain under the same name with the wrong type: the
+  // pipeline was built expecting int32.
+  Param<float> WrongGain(P.Gain.name());
+  WrongGain.set(2.0f);
+  Buffer<float> Out(8, 8);
+  EXPECT_DEATH(Pipeline(P.F).realize(Out),
+               "scalar parameter 'pd_c_gain' is declared float32 but the "
+               "pipeline expects int32");
+}
+
+TEST(ParamInferDeathTest, ImageParamTypeMismatchNamesTheParam) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ImageParam In(UInt(8), 2, "pd_d_in");
+  Buffer<float> Wrong(4, 4);
+  EXPECT_DEATH(In.set(Wrong),
+               "ImageParam pd_d_in declared uint8 but bound to a float32 "
+               "buffer");
+}
+
+TEST(ParamInferDeathTest, OutputBufferTypeMismatch) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Var x("x"), y("y");
+  Func F("pd_e_out");
+  F(x, y) = cast(Float(32), x + y);
+  Buffer<int32_t> Out(4, 4); // pipeline produces float32
+  EXPECT_DEATH(Pipeline(F).realize(Out),
+               "output buffer 'pd_e_out' has element type int32");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduling sugar: TileSpec and variadic arities.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulingSugarTest, TileSpecMatchesPositionalTile) {
+  Var x("x"), y("y"), xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  Func A("tsp_a"), B("tsp_b");
+  A(x, y) = x + y;
+  B(x, y) = x + y;
+  A.tile(TileSpec(x, y).outer(xo, yo).inner(xi, yi).factors(8, 4));
+  B.tile(x, y, xo, yo, xi, yi, 8, 4);
+  // Identical splits and loop order (modulo the stage name).
+  EXPECT_EQ(A.function().schedule().str(), B.function().schedule().str());
+  Buffer<int32_t> Out(16, 8);
+  Pipeline(A).realize(Out);
+  EXPECT_EQ(Out(9, 5), 14);
+}
+
+TEST(SchedulingSugarTest, VariadicCallBeyondFourDims) {
+  // The old fixed-arity overloads stopped at 4 coordinates; the variadic
+  // form takes any arity and any Var/Expr/int mix.
+  Var a("a"), b("b"), c("c"), d("d"), e("e"), x("x");
+  Func F5("vs_f5"), G("vs_g");
+  F5(a, b, c, d, e) = a + b * 2 + c * 3 + d * 4 + e * 5;
+  G(x) = F5(x, x + 1, 2, x, 0);
+  Buffer<int32_t> Out(6);
+  Pipeline(G).realize(Out);
+  for (int X = 0; X < 6; ++X)
+    EXPECT_EQ(Out(X), X + (X + 1) * 2 + 2 * 3 + X * 4);
+}
+
+TEST(SchedulingSugarTest, VariadicReorder) {
+  Var x("x"), y("y"), z("z");
+  Func F("vr_f");
+  F(x, y, z) = x + y + z;
+  F.reorder(z, y, x); // z innermost now
+  const Schedule &S = F.function().schedule();
+  ASSERT_EQ(S.Dims.size(), 3u);
+  EXPECT_EQ(S.Dims[0].Var, "x");
+  EXPECT_EQ(S.Dims[1].Var, "y");
+  EXPECT_EQ(S.Dims[2].Var, "z");
+}
