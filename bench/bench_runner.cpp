@@ -6,7 +6,7 @@
 // optimization PRs benchmark themselves against (BENCH_seed.json at the
 // repo root holds the seed trajectory).
 //
-// Usage: bench_runner [--backend interp|jit] [--json <path>]
+// Usage: bench_runner [--backend interp|vm|jit|gpu] [--json <path>]
 //                     [--width W] [--height H] [--iters N]
 //
 //===----------------------------------------------------------------------===//
@@ -76,7 +76,8 @@ int main(int Argc, char **Argv) {
 
     if (!BackendText.empty()) {
       if (!Target::parse(BackendText, &T)) {
-        std::fprintf(stderr, "unknown backend '%s' (try interp or jit)\n",
+        std::fprintf(stderr,
+                     "unknown backend '%s' (try interp, vm, jit, or gpu)\n",
                      BackendText.c_str());
         return 2;
       }
@@ -90,7 +91,7 @@ int main(int Argc, char **Argv) {
       Iters = std::atoi(Argv[++I]);
     else {
       std::fprintf(stderr,
-                   "usage: %s [--backend interp|jit] [--json <path>] "
+                   "usage: %s [--backend interp|vm|jit|gpu] [--json <path>] "
                    "[--width W] [--height H] [--iters N]\n",
                    Argv[0]);
       return 2;

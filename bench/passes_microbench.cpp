@@ -3,13 +3,18 @@
 // Supporting benchmark (E10 in DESIGN.md): google-benchmark timings of the
 // compiler itself — simplification, bounds analysis, and full lowering of
 // small and large pipelines — so compile-time regressions are visible.
+// Also hosts the execution-dispatch microbench: the tree-walking
+// interpreter vs the bytecode VM over the Figure-3 blur schedules, the
+// measurement behind the differential suite's backend switch.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
 #include "analysis/Bounds.h"
+#include "codegen/Executable.h"
 #include "lang/ImageParam.h"
 #include "lang/Pipeline.h"
+#include "support/DiffTest.h"
 #include "transforms/Simplify.h"
 
 #include <benchmark/benchmark.h>
@@ -66,6 +71,95 @@ void BM_LowerLocalLaplacian(benchmark::State &State) {
     benchmark::DoNotOptimize(lower(A.Output.function()).Body.get());
 }
 BENCHMARK(BM_LowerLocalLaplacian);
+
+//===----------------------------------------------------------------------===//
+// Execution dispatch: interpreter vs bytecode VM on the Figure-3 blur.
+//===----------------------------------------------------------------------===//
+
+/// The Figure-3 two-stage blur under one of its canonical schedules
+/// (bench/fig3_blur_strategies.cpp is the full table; these are the
+/// representative rows: no producer-consumer locality, tiles, and the
+/// sliding window).
+struct BlurFixture {
+  ImageParam In;
+  Var x{"x"}, y{"y"};
+  Func Blurx, Out;
+  Buffer<uint8_t> Input, Output;
+  ParamBindings Params;
+
+  BlurFixture(const std::string &Tag, int W, int H)
+      : In(UInt(8), 2, Tag + "_in"), Blurx(Tag + "_blurx"),
+        Out(Tag + "_out"), Input(W, H), Output(W, H) {
+    auto InC = [&](Expr X, Expr Y) {
+      return cast(UInt(16), In(clamp(X, 0, In.width() - 1),
+                               clamp(Y, 0, In.height() - 1)));
+    };
+    Blurx(x, y) =
+        cast(UInt(16), (InC(x - 1, y) + InC(x, y) + InC(x + 1, y)) / 3);
+    Out(x, y) = cast(UInt(8),
+                     (Blurx(x, y - 1) + Blurx(x, y) + Blurx(x, y + 1)) / 3);
+    Input.fill([](int X, int Y) { return (X * 23 + Y * 7) % 256; });
+    Params.bind(In.name(), Input);
+    Params.bind(Out.name(), Output);
+  }
+
+  void applySchedule(const std::string &Name) {
+    Out.function().resetSchedule();
+    Blurx.function().resetSchedule();
+    if (Name == "breadth_first") {
+      Blurx.computeRoot();
+    } else if (Name == "tiled") {
+      Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+      Out.tile(x, y, xo, yo, xi, yi, 32, 32).parallel(yo);
+      Blurx.computeAt(Out, xo);
+    } else if (Name == "sliding_window") {
+      Blurx.storeRoot().computeAt(Out, y);
+    }
+  }
+};
+
+void dispatchBench(benchmark::State &State, const Target &T,
+                   const char *Schedule) {
+  // Frame small enough that an interpreter iteration stays in the
+  // microbench budget; both engines run the identical lowered pipeline.
+  BlurFixture F(std::string("mb_") + backendName(T.TargetBackend) + "_" +
+                    Schedule,
+                192, 128);
+  F.applySchedule(Schedule);
+  std::shared_ptr<const Executable> Exe = Pipeline(F.Out).compile(T);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Exe->run(F.Params));
+}
+
+void BM_DispatchInterpBreadthFirst(benchmark::State &State) {
+  dispatchBench(State, Target::interpreter(), "breadth_first");
+}
+BENCHMARK(BM_DispatchInterpBreadthFirst)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchVmBreadthFirst(benchmark::State &State) {
+  dispatchBench(State, Target::vm(), "breadth_first");
+}
+BENCHMARK(BM_DispatchVmBreadthFirst)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchInterpTiled(benchmark::State &State) {
+  dispatchBench(State, Target::interpreter(), "tiled");
+}
+BENCHMARK(BM_DispatchInterpTiled)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchVmTiled(benchmark::State &State) {
+  dispatchBench(State, Target::vm(), "tiled");
+}
+BENCHMARK(BM_DispatchVmTiled)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchInterpSlidingWindow(benchmark::State &State) {
+  dispatchBench(State, Target::interpreter(), "sliding_window");
+}
+BENCHMARK(BM_DispatchInterpSlidingWindow)->Unit(benchmark::kMillisecond);
+
+void BM_DispatchVmSlidingWindow(benchmark::State &State) {
+  dispatchBench(State, Target::vm(), "sliding_window");
+}
+BENCHMARK(BM_DispatchVmSlidingWindow)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

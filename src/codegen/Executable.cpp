@@ -4,6 +4,7 @@
 
 #include "codegen/Interpreter.h"
 #include "codegen/Jit.h"
+#include "vm/VmExecutable.h"
 
 using namespace halide;
 
@@ -37,5 +38,7 @@ std::shared_ptr<const Executable> halide::makeExecutable(
     const LoweredPipeline &P, const Target &T) {
   if (T.TargetBackend == Backend::Interpreter)
     return std::make_shared<InterpretedPipeline>(P, T);
+  if (T.TargetBackend == Backend::VmBytecode)
+    return vmCompile(P, T);
   return jitCompile(P, T);
 }

@@ -7,7 +7,8 @@
 /// \file
 /// The seam between the compiler and the back ends: an Executable is a
 /// lowered pipeline made runnable for one Target, whether by the reference
-/// interpreter or by native code from the C-source JIT. Pipeline::compile
+/// interpreter, the bytecode VM, or native code from the C-source JIT.
+/// Pipeline::compile
 /// caches Executables by schedule fingerprint so a pipeline is compiled
 /// once and run over many frames (paper section 4, Figure 5).
 ///
@@ -57,8 +58,9 @@ protected:
 };
 
 /// Makes \p P runnable on the backend \p T names. For JitC/GpuSim this
-/// invokes the host C compiler (aborts via user_error if it fails); the
-/// interpreter backend returns a thin wrapper with no compile cost.
+/// invokes the host C compiler (aborts via user_error if it fails);
+/// VmBytecode compiles the IR to bytecode in-process; the interpreter
+/// backend returns a thin wrapper with no compile cost.
 std::shared_ptr<const Executable> makeExecutable(const LoweredPipeline &P,
                                                  const Target &T);
 

@@ -91,7 +91,7 @@ std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
   }
 
   const LoweredPipeline &LP = cachedLowered(LowerKey, T);
-  if (T.usesJit())
+  if (T.compilesAheadOfRun())
     ++C.Counters.BackendCompiles;
   std::shared_ptr<const Executable> Exe = makeExecutable(LP, T);
   if (C.Executables.size() >= MaxCacheEntries)

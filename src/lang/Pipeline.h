@@ -53,7 +53,9 @@ struct Argument {
 struct CompileCounters {
   /// Full lowering runs (schedule synthesis through simplification).
   int64_t Lowerings = 0;
-  /// Host C compiler invocations (JitC/GpuSim backends).
+  /// Backend compilations that produce an artifact ahead of the first
+  /// run: host C compiler invocations (JitC/GpuSim) and bytecode
+  /// compiles (VmBytecode). The interpreter backend never counts.
   int64_t BackendCompiles = 0;
   /// compile() calls served entirely from the executable cache.
   int64_t CacheHits = 0;

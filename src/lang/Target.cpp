@@ -12,6 +12,8 @@ const char *halide::backendName(Backend B) {
   switch (B) {
   case Backend::Interpreter:
     return "interpreter";
+  case Backend::VmBytecode:
+    return "vm_bytecode";
   case Backend::JitC:
     return "jit_c";
   case Backend::GpuSim:
@@ -42,6 +44,8 @@ bool Target::parse(const std::string &Text, Target *Out) {
   const std::string &Name = Parts[0];
   if (Name == "interp" || Name == "interpreter")
     T.TargetBackend = Backend::Interpreter;
+  else if (Name == "vm" || Name == "vm_bytecode")
+    T.TargetBackend = Backend::VmBytecode;
   else if (Name == "jit" || Name == "jit_c")
     T.TargetBackend = Backend::JitC;
   else if (Name == "gpu" || Name == "gpu_sim")

@@ -6,9 +6,9 @@
 ///
 /// \file
 /// The single description of *how* a pipeline is compiled and executed: the
-/// backend (reference interpreter, the C-source JIT, or the simulated-GPU
-/// device reached through the JIT) plus the feature flags that used to live
-/// in LowerOptions. A Target is part of the compile-cache key, so two
+/// backend (reference interpreter, the bytecode VM, the C-source JIT, or
+/// the simulated-GPU device reached through the JIT) plus the feature flags
+/// that used to live in LowerOptions. A Target is part of the compile-cache key, so two
 /// realizations with the same schedules and the same Target share one
 /// compiled artifact (paper section 4, Figure 5: compile once, run over
 /// many frames).
@@ -26,6 +26,11 @@ namespace halide {
 enum class Backend : uint8_t {
   /// The tree-walking reference interpreter (gathers ExecutionStats).
   Interpreter,
+  /// Register-based bytecode compiled from the lowered IR and executed by
+  /// a dispatch loop: interpreter semantics (bit-identical results, same
+  /// ExecutionStats) at a fraction of the per-operation cost, with no
+  /// host-compiler dependency. The differential suite's default engine.
+  VmBytecode,
   /// CodeGenC -> host C compiler -> dlopen native execution.
   JitC,
   /// Native execution through JitC with kernel launches routed to the
@@ -55,6 +60,7 @@ struct Target {
   explicit Target(Backend B) : TargetBackend(B) {}
 
   static Target interpreter() { return Target(Backend::Interpreter); }
+  static Target vm() { return Target(Backend::VmBytecode); }
   static Target jit() { return Target(Backend::JitC); }
   static Target gpuSim() { return Target(Backend::GpuSim); }
 
@@ -75,7 +81,18 @@ struct Target {
     return T;
   }
 
-  bool usesJit() const { return TargetBackend != Backend::Interpreter; }
+  /// True when this target invokes the host C compiler (JitC and the
+  /// GpuSim device path that rides on it).
+  bool usesJit() const {
+    return TargetBackend == Backend::JitC || TargetBackend == Backend::GpuSim;
+  }
+  /// True when compile() produces an artifact ahead of the first run (a
+  /// bytecode program or a native shared object) rather than a thin
+  /// tree-walking wrapper; these count as backend compiles in the cache
+  /// counters.
+  bool compilesAheadOfRun() const {
+    return TargetBackend != Backend::Interpreter;
+  }
 
   /// Canonical textual form, e.g. "jit_c-no_sliding_window". Used in logs
   /// and as part of compile-cache keys.
@@ -86,7 +103,7 @@ struct Target {
   std::string lowerOptionsFingerprint() const;
 
   /// Parses the bench_runner --backend flag form: "interp"/"interpreter",
-  /// "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
+  /// "vm"/"vm_bytecode", "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
   /// "-no_sliding_window"/"-no_storage_folding" features. JitFlags have no
   /// textual form here — str()'s " [flags]" suffix is display-only.
   /// Returns false (and leaves \p Out alone) on an unknown name.

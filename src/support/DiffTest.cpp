@@ -7,11 +7,30 @@
 #include "ir/IROperators.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <vector>
 
 using namespace halide;
+
+namespace {
+
+/// The suite's execution target: the HALIDE_DIFF_BACKEND environment
+/// variable (Target::parse syntax) wins over the option so CI can force a
+/// backend — e.g. the VM under ASan — without touching test code.
+Target diffExecTarget(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_BACKEND");
+  if (Env && *Env) { // set-but-empty (e.g. a blank CI matrix cell) = unset
+    Target T;
+    user_assert(Target::parse(Env, &T))
+        << "HALIDE_DIFF_BACKEND=" << Env << " is not a valid backend name";
+    return T;
+  }
+  return Opts.ExecTarget;
+}
+
+} // namespace
 
 int halide::runOnBackend(const Target &T, const LoweredPipeline &P,
                          const ParamBindings &Params) {
@@ -167,13 +186,16 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
   const int W = Opts.Width, H = Opts.Height;
   ParamBindings Inputs = A.MakeInputs(W, H);
 
+  const Target Exec = diffExecTarget(Opts);
+  const std::string ExecName = backendName(Exec.TargetBackend);
+
   ScheduleSpace Space(A.Output.function());
   Pipeline Pipe(A.Output);
 
-  // The semantic reference: breadth-first through the interpreter. Going
-  // through Pipeline::lowerPipeline keys the lowering into the process
-  // compile cache, so repeated differential runs (and the canonical
-  // schedules the sample re-draws) stop paying re-lowering.
+  // The semantic reference: breadth-first through the suite's execution
+  // backend. Going through Pipeline::lowerPipeline keys the lowering into
+  // the process compile cache, so repeated differential runs (and the
+  // canonical schedules the sample re-draws) stop paying re-lowering.
   std::shared_ptr<void> KeepRef;
   RawBuffer Ref = makeAppOutput(A, W, H, &KeepRef);
   Space.apply(Space.breadthFirstGenome());
@@ -181,7 +203,15 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
     LoweredPipeline P = Pipe.lowerPipeline();
     ParamBindings PB = Inputs;
     PB.bind(A.Output.name(), Ref);
-    runOnBackend(Target::interpreter(), P, PB);
+    int Rc = runOnBackend(Exec, P, PB);
+    if (Rc != 0) {
+      // Without a reference every later comparison would report garbage;
+      // fail with the one diagnostic that matters.
+      R.Mismatches.push_back({"breadth_first", ExecName + " exit code",
+                              "reference run returned " +
+                                  std::to_string(Rc)});
+      return R;
+    }
   }
 
   // The reference itself must agree with the hand-written baseline (over
@@ -197,7 +227,13 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       LoweredPipeline P = Pipe.lowerPipeline();
       ParamBindings PB = A.MakeInputs(BW, BH);
       PB.bind(A.Output.name(), BRef);
-      runOnBackend(Target::interpreter(), P, PB);
+      int Rc = runOnBackend(Exec, P, PB);
+      if (Rc != 0) {
+        R.Mismatches.push_back({"breadth_first", ExecName + " exit code",
+                                "baseline-frame run returned " +
+                                    std::to_string(Rc)});
+        return R;
+      }
     }
     RawBuffer Base = makeAppOutput(A, BW, BH, &KeepBase);
     A.Reference(BW, BH, Base);
@@ -205,25 +241,47 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
     if (!buffersMatch(BRef, Base, Opts.FloatTolerance, A.ReferenceMargin,
                       &Detail))
       R.Mismatches.push_back({"breadth_first",
-                              "interpreter vs hand-written baseline",
+                              ExecName + " vs hand-written baseline",
                               Detail});
   }
 
+  int ScheduleIndex = 0;
   for (const Genome &G : Space.deterministicSample(Opts.ScheduleCount,
                                                    Opts.Seed)) {
     std::string Desc = Space.describe(G);
     Space.apply(G);
     LoweredPipeline P = Pipe.lowerPipeline();
 
-    std::shared_ptr<void> KeepInterp;
-    RawBuffer OutInterp = makeAppOutput(A, W, H, &KeepInterp);
+    std::shared_ptr<void> KeepExec;
+    RawBuffer OutExec = makeAppOutput(A, W, H, &KeepExec);
     {
+      ParamBindings PB = Inputs;
+      PB.bind(A.Output.name(), OutExec);
+      // The VM and the interpreter abort via user_error; a JIT exec
+      // target reports failed pipeline asserts through the exit code.
+      int Rc = runOnBackend(Exec, P, PB);
+      std::string Detail;
+      if (Rc != 0)
+        R.Mismatches.push_back({Desc, ExecName + " exit code",
+                                "pipeline returned " + std::to_string(Rc)});
+      else if (!buffersMatch(Ref, OutExec, Opts.FloatTolerance, 0, &Detail))
+        R.Mismatches.push_back({Desc, ExecName + " vs reference", Detail});
+    }
+
+    // The tree-walking interpreter audits a prefix of the sample: it
+    // re-executes the same schedule and must reproduce the execution
+    // backend's output bit for bit (zero tolerance — the VM's contract
+    // with the interpreter is identical results, not merely close ones).
+    if (Exec.TargetBackend != Backend::Interpreter &&
+        ScheduleIndex < Opts.InterpreterSpotChecks) {
+      std::shared_ptr<void> KeepInterp;
+      RawBuffer OutInterp = makeAppOutput(A, W, H, &KeepInterp);
       ParamBindings PB = Inputs;
       PB.bind(A.Output.name(), OutInterp);
       runOnBackend(Target::interpreter(), P, PB);
       std::string Detail;
-      if (!buffersMatch(Ref, OutInterp, Opts.FloatTolerance, 0, &Detail))
-        R.Mismatches.push_back({Desc, "interpreter vs reference", Detail});
+      if (!buffersMatch(OutExec, OutInterp, 0.0, 0, &Detail))
+        R.Mismatches.push_back({Desc, "interpreter vs " + ExecName, Detail});
     }
 
     if (Opts.RunCodeGenC) {
@@ -242,6 +300,7 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
         R.Mismatches.push_back({Desc, "codegen_c vs reference", Detail});
     }
     ++R.SchedulesRun;
+    ++ScheduleIndex;
   }
   return R;
 }

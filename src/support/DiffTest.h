@@ -8,11 +8,14 @@
 /// The differential schedule-correctness harness: the paper's core safety
 /// property is that *any* valid schedule of a pipeline computes the same
 /// result as the naive one. For a given app this harness enumerates a
-/// deterministic sample of schedules from the autotuner's search space,
-/// executes each through both back ends (the reference interpreter and the
-/// CodeGenC -> host-compiler -> dlopen path), and checks every output
-/// against the breadth-first reference and, where one exists, the
-/// hand-written C++ baseline from apps/baselines.
+/// deterministic sample of schedules from the autotuner's search space and
+/// checks every output against the breadth-first reference and, where one
+/// exists, the hand-written C++ baseline from apps/baselines. Three
+/// engines participate: the bytecode VM executes every schedule (the
+/// suite's default backend — fast enough to keep the sweep wide), the
+/// CodeGenC -> host-compiler -> dlopen path independently re-executes
+/// every schedule, and the tree-walking interpreter spot-checks a prefix
+/// of the sample bit-for-bit as the semantic reference.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +60,19 @@ struct DiffOptions {
   /// Absolute per-element tolerance for float outputs. Integer outputs
   /// must match bit-exactly.
   double FloatTolerance = 1e-5;
+  /// The engine that computes the reference output and executes every
+  /// sampled schedule. Defaults to the bytecode VM; the
+  /// HALIDE_DIFF_BACKEND environment variable (Target::parse syntax,
+  /// e.g. "vm", "interp") overrides it process-wide, which is how CI
+  /// forces a backend under sanitizers.
+  Target ExecTarget = Target::vm();
+  /// The first this-many sampled schedules are additionally executed by
+  /// the tree-walking interpreter, which must reproduce the execution
+  /// backend's output for the same schedule bit-for-bit — the
+  /// stats-reference engine keeps auditing the VM without paying its
+  /// 10-40x slowdown on every schedule. 0 disables; ignored when
+  /// ExecTarget is already the interpreter.
+  int InterpreterSpotChecks = 1;
   /// Also push every schedule through the C backend (compile + dlopen).
   bool RunCodeGenC = true;
   /// Host-compiler flags for the C backend. -O0 because this harness

@@ -1,0 +1,514 @@
+//===-- vm/VmCompiler.cpp -------------------------------------------------===//
+
+#include "vm/VmCompiler.h"
+
+#include "analysis/Scope.h"
+#include "ir/Expr.h"
+#include "ir/IROperators.h"
+
+#include <map>
+
+using namespace halide;
+
+namespace {
+
+class Compiler {
+public:
+  explicit Compiler(const LoweredPipeline &P) : P(P) {}
+
+  VmProgram compile() {
+    // Boundary buffers occupy the first buffer-table slots; internal
+    // Allocate sites are appended as they are encountered.
+    for (const BufferArg &Arg : P.Buffers) {
+      VmBufferDesc Desc;
+      Desc.Name = Arg.Name;
+      Desc.ElemType = Arg.ElemType;
+      Desc.IsBoundary = true;
+      Desc.IsOutput = Arg.IsOutput;
+      BufScope.push(Arg.Name, int32_t(Prog.Buffers.size()));
+      Prog.Buffers.push_back(std::move(Desc));
+    }
+    compileStmt(P.Body);
+    emit({VmOp::Halt, 0, 0, 1, 0, 0, 0, 0, 0});
+    Prog.InitialRegs.assign(size_t(RegCount), VmSlot{0});
+    for (const auto &[Slot, Value] : ConstInits)
+      Prog.InitialRegs[Slot] = Value;
+    return std::move(Prog);
+  }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Registers and emission
+  //===------------------------------------------------------------------===//
+
+  uint32_t allocReg(int Lanes) {
+    uint32_t Slot = RegCount;
+    RegCount += uint32_t(Lanes);
+    return Slot;
+  }
+
+  size_t emit(VmInstr In) {
+    Prog.Code.push_back(In);
+    return Prog.Code.size() - 1;
+  }
+
+  /// A register pre-loaded with a scalar integer constant (deduplicated).
+  uint32_t constInt(int64_t Value) {
+    auto It = IntConsts.find(Value);
+    if (It != IntConsts.end())
+      return It->second;
+    uint32_t Slot = allocReg(1);
+    VmSlot S;
+    S.I = Value;
+    ConstInits.emplace_back(Slot, S);
+    IntConsts[Value] = Slot;
+    return Slot;
+  }
+
+  /// A register pre-loaded with a scalar double constant (deduplicated by
+  /// bit pattern so -0.0 and 0.0 stay distinct).
+  uint32_t constFloat(double Value) {
+    VmSlot S;
+    S.F = Value;
+    auto It = FloatConsts.find(S.I);
+    if (It != FloatConsts.end())
+      return It->second;
+    uint32_t Slot = allocReg(1);
+    ConstInits.emplace_back(Slot, S);
+    FloatConsts[S.I] = Slot;
+    return Slot;
+  }
+
+  /// The register holding the scalar parameter \p Name, creating its
+  /// per-run initialization record on first use.
+  uint32_t paramReg(const std::string &Name, Type T) {
+    auto It = ParamSlots.find(Name);
+    if (It != ParamSlots.end())
+      return It->second;
+    VmParamInit Init;
+    Init.Name = Name;
+    Init.Slot = allocReg(1);
+    Init.IsFloat = T.isFloat();
+    Init.Bits = uint8_t(T.Bits);
+    Init.SignedWrap = T.isInt();
+    Prog.Params.push_back(Init);
+    ParamSlots[Name] = Init.Slot;
+    return Init.Slot;
+  }
+
+  /// Fills the shared layout of an elementwise instruction.
+  VmInstr elemwise(VmOp Op, Type T, uint32_t Dst, uint32_t A, uint32_t B = 0,
+                   uint32_t C = 0) {
+    VmInstr In;
+    In.Op = Op;
+    In.Bits = uint8_t(T.Bits);
+    In.SignedWrap = T.isInt();
+    In.Lanes = uint16_t(T.Lanes);
+    In.Dst = Dst;
+    In.A = A;
+    In.B = B;
+    In.C = C;
+    return In;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expressions
+  //===------------------------------------------------------------------===//
+
+  uint32_t compileExpr(const Expr &E) {
+    switch (E->Kind) {
+    case IRNodeKind::IntImm:
+      return constInt(wrapToType(E.as<IntImm>()->Value, E.type().element()));
+    case IRNodeKind::UIntImm:
+      return constInt(
+          wrapToType(int64_t(E.as<UIntImm>()->Value), E.type().element()));
+    case IRNodeKind::FloatImm:
+      return constFloat(E.as<FloatImm>()->Value);
+    case IRNodeKind::StringImm:
+      internal_error << "vm: cannot evaluate string immediate";
+      return 0;
+    case IRNodeKind::Cast:
+      return compileCast(E.as<Cast>());
+    case IRNodeKind::Variable: {
+      const Variable *Op = E.as<Variable>();
+      if (Vars.contains(Op->Name))
+        return Vars.get(Op->Name);
+      return paramReg(Op->Name, Op->NodeType);
+    }
+    case IRNodeKind::Add:
+      return compileBinary(E, E.as<Add>()->A, E.as<Add>()->B, VmOp::AddI,
+                           VmOp::AddI, VmOp::AddF);
+    case IRNodeKind::Sub:
+      return compileBinary(E, E.as<Sub>()->A, E.as<Sub>()->B, VmOp::SubI,
+                           VmOp::SubI, VmOp::SubF);
+    case IRNodeKind::Mul:
+      return compileBinary(E, E.as<Mul>()->A, E.as<Mul>()->B, VmOp::MulI,
+                           VmOp::MulI, VmOp::MulF);
+    case IRNodeKind::Div:
+      return compileBinary(E, E.as<Div>()->A, E.as<Div>()->B, VmOp::DivI,
+                           VmOp::DivU, VmOp::DivF);
+    case IRNodeKind::Mod:
+      return compileBinary(E, E.as<Mod>()->A, E.as<Mod>()->B, VmOp::ModI,
+                           VmOp::ModU, VmOp::ModF);
+    case IRNodeKind::Min:
+      return compileBinary(E, E.as<Min>()->A, E.as<Min>()->B, VmOp::MinI,
+                           VmOp::MinU, VmOp::MinF);
+    case IRNodeKind::Max:
+      return compileBinary(E, E.as<Max>()->A, E.as<Max>()->B, VmOp::MaxI,
+                           VmOp::MaxU, VmOp::MaxF);
+    case IRNodeKind::EQ:
+      return compileCompare(E, E.as<EQ>()->A, E.as<EQ>()->B, VmOp::EqI,
+                            VmOp::EqI, VmOp::EqF);
+    case IRNodeKind::NE:
+      return compileCompare(E, E.as<NE>()->A, E.as<NE>()->B, VmOp::NeI,
+                            VmOp::NeI, VmOp::NeF);
+    case IRNodeKind::LT:
+      return compileCompare(E, E.as<LT>()->A, E.as<LT>()->B, VmOp::LtI,
+                            VmOp::LtU, VmOp::LtF);
+    case IRNodeKind::LE:
+      return compileCompare(E, E.as<LE>()->A, E.as<LE>()->B, VmOp::LeI,
+                            VmOp::LeU, VmOp::LeF);
+    case IRNodeKind::GT:
+      // a > b compiles as b < a (and likewise for >=) — same operand
+      // ordering trick keeps the opcode count down.
+      return compileCompare(E, E.as<GT>()->B, E.as<GT>()->A, VmOp::LtI,
+                            VmOp::LtU, VmOp::LtF);
+    case IRNodeKind::GE:
+      return compileCompare(E, E.as<GE>()->B, E.as<GE>()->A, VmOp::LeI,
+                            VmOp::LeU, VmOp::LeF);
+    case IRNodeKind::And:
+      return compileCompare(E, E.as<And>()->A, E.as<And>()->B, VmOp::AndB,
+                            VmOp::AndB, VmOp::AndB);
+    case IRNodeKind::Or:
+      return compileCompare(E, E.as<Or>()->A, E.as<Or>()->B, VmOp::OrB,
+                            VmOp::OrB, VmOp::OrB);
+    case IRNodeKind::Not: {
+      uint32_t A = compileExpr(E.as<Not>()->A);
+      uint32_t Dst = allocReg(E.type().Lanes);
+      emit(elemwise(VmOp::NotB, E.type(), Dst, A));
+      return Dst;
+    }
+    case IRNodeKind::Select:
+      return compileSelect(E.as<Select>());
+    case IRNodeKind::Load:
+      return compileLoad(E.as<Load>());
+    case IRNodeKind::Ramp: {
+      const Ramp *Op = E.as<Ramp>();
+      uint32_t Base = compileExpr(Op->Base);
+      uint32_t Stride = compileExpr(Op->Stride);
+      uint32_t Dst = allocReg(Op->Lanes);
+      emit(elemwise(VmOp::Ramp, E.type(), Dst, Base, Stride));
+      return Dst;
+    }
+    case IRNodeKind::Broadcast: {
+      const Broadcast *Op = E.as<Broadcast>();
+      uint32_t A = compileExpr(Op->Value);
+      uint32_t Dst = allocReg(Op->Lanes);
+      emit(elemwise(VmOp::BroadcastSlot, E.type(), Dst, A));
+      return Dst;
+    }
+    case IRNodeKind::Call:
+      return compileCall(E.as<Call>());
+    case IRNodeKind::Let: {
+      const Let *Op = E.as<Let>();
+      uint32_t Val = compileExpr(Op->Value);
+      ScopedBinding<uint32_t> Bind(Vars, Op->Name, Val);
+      return compileExpr(Op->Body);
+    }
+    default:
+      internal_error << "vm: statement kind in expression position";
+      return 0;
+    }
+  }
+
+  uint32_t compileBinary(const Expr &E, const Expr &AE, const Expr &BE,
+                         VmOp IntOp, VmOp UIntOp, VmOp FloatOp) {
+    Type T = E.type();
+    uint32_t A = compileExpr(AE);
+    uint32_t B = compileExpr(BE);
+    uint32_t Dst = allocReg(T.Lanes);
+    Type OpT = AE.type();
+    VmOp Op = OpT.isFloat() ? FloatOp
+              : OpT.isUInt() && !OpT.isBool() ? UIntOp
+                                              : IntOp;
+    emit(elemwise(Op, OpT, Dst, A, B));
+    return Dst;
+  }
+
+  uint32_t compileCompare(const Expr &E, const Expr &AE, const Expr &BE,
+                          VmOp IntOp, VmOp UIntOp, VmOp FloatOp) {
+    // Same emission as compileBinary but the operand type (not the bool
+    // result type) picks the opcode, and the result never wraps.
+    return compileBinary(E, AE, BE, IntOp, UIntOp, FloatOp);
+  }
+
+  uint32_t compileCast(const Cast *Op) {
+    Type To = Op->NodeType;
+    Type From = Op->Value.type();
+    uint32_t A = compileExpr(Op->Value);
+    uint32_t Dst = allocReg(To.Lanes);
+    VmOp O;
+    if (To.isFloat())
+      O = From.isFloat()  ? VmOp::CastFToF
+          : From.isUInt() ? VmOp::CastUIntToF
+                          : VmOp::CastIntToF;
+    else
+      O = From.isFloat() ? VmOp::CastFToInt : VmOp::CastIntWrap;
+    emit(elemwise(O, To, Dst, A));
+    return Dst;
+  }
+
+  uint32_t compileSelect(const Select *Op) {
+    uint32_t C = compileExpr(Op->Condition);
+    uint32_t A = compileExpr(Op->TrueValue);
+    uint32_t B = compileExpr(Op->FalseValue);
+    Type T = Op->NodeType;
+    uint32_t Dst = allocReg(T.Lanes);
+    emit(elemwise(VmOp::Select, T, Dst, A, B, C));
+    return Dst;
+  }
+
+  uint32_t compileLoad(const Load *Op) {
+    int32_t Buf = BufScope.get(Op->Name);
+    uint32_t Index = compileExpr(Op->Index);
+    Type T = Op->NodeType;
+    uint32_t Dst = allocReg(T.Lanes);
+    VmInstr In = elemwise(VmOp::Load, T, Dst, Index);
+    In.Aux = Buf;
+    emit(In);
+    return Dst;
+  }
+
+  uint32_t compileCall(const Call *Op) {
+    if (Op->CallKind == CallType::Intrinsic) {
+      // The trace hook is a no-op in the VM, exactly as in the
+      // interpreter: it folds to the constant 0 without evaluating its
+      // arguments.
+      if (Op->Name == Call::TracePoint)
+        return constInt(0);
+      internal_error << "vm: unknown intrinsic " << Op->Name;
+    }
+    internal_assert(Op->CallKind == CallType::PureExtern)
+        << "vm: unlowered call to " << Op->Name;
+    VmExtern Fn;
+    if (Op->Name == "sqrt")
+      Fn = VmExtern::Sqrt;
+    else if (Op->Name == "sin")
+      Fn = VmExtern::Sin;
+    else if (Op->Name == "cos")
+      Fn = VmExtern::Cos;
+    else if (Op->Name == "exp")
+      Fn = VmExtern::Exp;
+    else if (Op->Name == "log")
+      Fn = VmExtern::Log;
+    else if (Op->Name == "floor")
+      Fn = VmExtern::Floor;
+    else if (Op->Name == "ceil")
+      Fn = VmExtern::Ceil;
+    else if (Op->Name == "round")
+      Fn = VmExtern::Round;
+    else if (Op->Name == "pow")
+      Fn = VmExtern::Pow;
+    else {
+      internal_error << "vm: unknown extern " << Op->Name;
+      return 0;
+    }
+    internal_assert(Op->Args.size() == (Fn == VmExtern::Pow ? 2u : 1u))
+        << "vm: bad arity for extern " << Op->Name;
+    uint32_t A = compileExpr(Op->Args[0]);
+    uint32_t B = Op->Args.size() > 1 ? compileExpr(Op->Args[1]) : 0;
+    Type T = Op->NodeType;
+    uint32_t Dst = allocReg(T.Lanes);
+    VmInstr In = elemwise(VmOp::CallExtern, T, Dst, A, B);
+    In.Aux = int32_t(Fn);
+    emit(In);
+    return Dst;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  void compileStmt(const Stmt &S) {
+    switch (S->Kind) {
+    case IRNodeKind::LetStmt: {
+      const LetStmt *Op = S.as<LetStmt>();
+      uint32_t Val = compileExpr(Op->Value);
+      ScopedBinding<uint32_t> Bind(Vars, Op->Name, Val);
+      compileStmt(Op->Body);
+      return;
+    }
+    case IRNodeKind::AssertStmt: {
+      const AssertStmt *Op = S.as<AssertStmt>();
+      uint32_t C = compileExpr(Op->Condition);
+      VmInstr In;
+      In.Op = VmOp::AssertCond;
+      In.A = C;
+      In.Aux = int32_t(Prog.Messages.size());
+      Prog.Messages.push_back(Op->Message);
+      emit(In);
+      return;
+    }
+    case IRNodeKind::ProducerConsumer:
+      compileStmt(S.as<ProducerConsumer>()->Body);
+      return;
+    case IRNodeKind::For:
+      compileFor(S.as<For>());
+      return;
+    case IRNodeKind::Store: {
+      const Store *Op = S.as<Store>();
+      int32_t Buf = BufScope.get(Op->Name);
+      // Value before index, matching the interpreter's evaluation order.
+      uint32_t Val = compileExpr(Op->Value);
+      uint32_t Index = compileExpr(Op->Index);
+      VmInstr In = elemwise(VmOp::Store, Op->Value.type(), 0, Val, Index);
+      In.Aux = Buf;
+      emit(In);
+      return;
+    }
+    case IRNodeKind::Allocate:
+      compileAllocate(S.as<Allocate>());
+      return;
+    case IRNodeKind::Block:
+      compileStmt(S.as<Block>()->First);
+      compileStmt(S.as<Block>()->Rest);
+      return;
+    case IRNodeKind::IfThenElse: {
+      const IfThenElse *Op = S.as<IfThenElse>();
+      uint32_t C = compileExpr(Op->Condition);
+      VmInstr Br;
+      Br.Op = VmOp::JumpIfFalse;
+      Br.A = C;
+      size_t BrAt = emit(Br);
+      compileStmt(Op->ThenCase);
+      if (Op->ElseCase.defined()) {
+        VmInstr J;
+        J.Op = VmOp::Jump;
+        size_t JAt = emit(J);
+        Prog.Code[BrAt].Aux = int32_t(Prog.Code.size());
+        compileStmt(Op->ElseCase);
+        Prog.Code[JAt].Aux = int32_t(Prog.Code.size());
+      } else {
+        Prog.Code[BrAt].Aux = int32_t(Prog.Code.size());
+      }
+      return;
+    }
+    case IRNodeKind::Evaluate: {
+      const Evaluate *Op = S.as<Evaluate>();
+      // Pure expressions evaluated for side effects only reduce to the
+      // trace hook, which the VM drops entirely.
+      const Call *C = Op->Value.as<Call>();
+      if (C && C->CallKind == CallType::Intrinsic &&
+          C->Name == Call::TracePoint)
+        return;
+      compileExpr(Op->Value);
+      return;
+    }
+    case IRNodeKind::Provide:
+    case IRNodeKind::Realize:
+      internal_error << "vm: unflattened "
+                     << (S->Kind == IRNodeKind::Provide ? "Provide"
+                                                        : "Realize");
+      return;
+    default:
+      internal_error << "vm: expression kind in statement position";
+    }
+  }
+
+  void compileFor(const For *Op) {
+    internal_assert(Op->Kind != ForType::Vectorized &&
+                    Op->Kind != ForType::Unrolled)
+        << "vm: unlowered " << forTypeName(Op->Kind) << " loop";
+    uint32_t MinR = compileExpr(Op->MinExpr);
+    uint32_t ExtR = compileExpr(Op->Extent);
+    internal_assert(Op->MinExpr.type().isScalar() &&
+                    Op->Extent.type().isScalar())
+        << "vm: vector loop bounds";
+
+    if (isParallelForType(Op->Kind)) {
+      // Parallel and simulated-GPU loops execute serially (and
+      // deterministically), like the interpreter; the extent feeds the
+      // span statistic.
+      VmInstr In;
+      In.Op = VmOp::CountParallel;
+      In.A = ExtR;
+      emit(In);
+    }
+
+    // counter = min; limit = min + extent (64-bit, so the back-edge
+    // comparison cannot wrap); skip the loop entirely when extent <= 0.
+    uint32_t Counter = allocReg(1);
+    uint32_t Limit = allocReg(1);
+    uint32_t Guard = allocReg(1);
+    emit(elemwise(VmOp::Mov, Int(32), Counter, MinR));
+    emit(elemwise(VmOp::AddI, Int(64), Limit, MinR, ExtR));
+    emit(elemwise(VmOp::LtI, Int(64), Guard, Counter, Limit));
+    VmInstr Br;
+    Br.Op = VmOp::JumpIfFalse;
+    Br.A = Guard;
+    size_t BrAt = emit(Br);
+
+    size_t BodyStart = Prog.Code.size();
+    {
+      ScopedBinding<uint32_t> Bind(Vars, Op->Name, Counter);
+      compileStmt(Op->Body);
+    }
+    VmInstr Next;
+    Next.Op = VmOp::LoopNext;
+    Next.A = Counter;
+    Next.B = Limit;
+    Next.Aux = int32_t(BodyStart);
+    emit(Next);
+    Prog.Code[BrAt].Aux = int32_t(Prog.Code.size());
+  }
+
+  void compileAllocate(const Allocate *Op) {
+    VmBufferDesc Desc;
+    Desc.Name = Op->Name;
+    Desc.ElemType = Op->ElemType.element();
+    int32_t Buf = int32_t(Prog.Buffers.size());
+    Prog.Buffers.push_back(std::move(Desc));
+
+    // elems = product of the extents, accumulated in 64 bits like the
+    // interpreter (each extent is a wrapped int32; the product is not
+    // re-wrapped).
+    uint32_t Elems = constInt(1);
+    for (const Expr &E : Op->Extents) {
+      uint32_t Ext = compileExpr(E);
+      uint32_t Next = allocReg(1);
+      emit(elemwise(VmOp::MulI, Int(64), Next, Elems, Ext));
+      Elems = Next;
+    }
+    VmInstr In;
+    In.Op = VmOp::Alloc;
+    In.A = Elems;
+    In.Aux = Buf;
+    emit(In);
+
+    {
+      ScopedBinding<int32_t> Bind(BufScope, Op->Name, Buf);
+      compileStmt(Op->Body);
+    }
+    VmInstr Fr;
+    Fr.Op = VmOp::FreeOp;
+    Fr.Aux = Buf;
+    emit(Fr);
+  }
+
+  const LoweredPipeline &P;
+  VmProgram Prog;
+  uint32_t RegCount = 0;
+  Scope<uint32_t> Vars;     ///< let/loop variable -> register slot
+  Scope<int32_t> BufScope;  ///< buffer name -> buffer-table index
+  std::map<std::string, uint32_t> ParamSlots;
+  std::map<int64_t, uint32_t> IntConsts;
+  std::map<int64_t, uint32_t> FloatConsts; ///< keyed by bit pattern
+  std::vector<std::pair<uint32_t, VmSlot>> ConstInits;
+};
+
+} // namespace
+
+VmProgram halide::compileToBytecode(const LoweredPipeline &P) {
+  Compiler C(P);
+  return C.compile();
+}

@@ -1,0 +1,36 @@
+//===-- vm/VmCompiler.h - Lowered IR -> bytecode compiler ------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a lowered pipeline statement into a VmProgram in one walk over
+/// the IR. Every name is resolved at compile time: let and loop variables
+/// become registers, scalar parameters and buffer metadata
+/// ("<buf>.stride.<d>" and friends) become registers initialized once per
+/// run, buffers become table indices, and structured control flow (for,
+/// if) becomes jumps with pre-patched targets. The generated code computes
+/// bit-identical results to the tree-walking interpreter: the same integer
+/// wrapping, floor division, float-through-double rounding, and extern
+/// call precision paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_VM_VMCOMPILER_H
+#define HALIDE_VM_VMCOMPILER_H
+
+#include "transforms/Lower.h"
+#include "vm/Bytecode.h"
+
+namespace halide {
+
+/// Compiles \p P (post-lowering: flattened, vectorized loops already
+/// turned into ramps, unrolled loops expanded) into a bytecode program.
+/// Aborts via internal_error on IR the VM cannot execute (unflattened
+/// Provide/Realize, unlowered vectorized/unrolled loops).
+VmProgram compileToBytecode(const LoweredPipeline &P);
+
+} // namespace halide
+
+#endif // HALIDE_VM_VMCOMPILER_H

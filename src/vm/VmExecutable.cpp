@@ -1,0 +1,421 @@
+//===-- vm/VmExecutable.cpp - The bytecode dispatch loop ------------------===//
+
+#include "vm/VmExecutable.h"
+
+#include "vm/VmCompiler.h"
+
+#include <cmath>
+
+using namespace halide;
+
+namespace {
+
+/// Local copy of IROperators' wrapToType, reduced to the two fields the
+/// bytecode carries, so the hot loop can inline it.
+inline int64_t wrapBits(int64_t Value, int Bits, bool Signed) {
+  if (Bits >= 64)
+    return Value;
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  uint64_t U = uint64_t(Value) & Mask;
+  if (Signed && (U >> (Bits - 1)))
+    return int64_t(U) - (int64_t(1) << Bits);
+  return int64_t(U);
+}
+
+inline int64_t vmFloorDiv(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+inline int64_t vmFloorMod(int64_t A, int64_t B) {
+  if (B == 0)
+    return 0;
+  return A - vmFloorDiv(A, B) * B;
+}
+
+/// Float arithmetic computes in double and, for 32-bit elements, rounds
+/// every result through single precision — the same path as the
+/// interpreter and the compiled C, so results are bit-identical.
+inline double roundF(double V, int Bits) {
+  return Bits == 32 ? double(float(V)) : V;
+}
+
+/// How the dispatch loop reads/writes a buffer element.
+enum class ElemKind : uint8_t { I8, U8, I16, U16, I32, U32, I64, F32, F64 };
+
+ElemKind elemKindOf(Type T) {
+  if (T.isFloat())
+    return T.Bits == 32 ? ElemKind::F32 : ElemKind::F64;
+  switch (T.Bits) {
+  case 1:
+  case 8:
+    return T.isUInt() ? ElemKind::U8 : ElemKind::I8;
+  case 16:
+    return T.isUInt() ? ElemKind::U16 : ElemKind::I16;
+  case 32:
+    return T.isUInt() ? ElemKind::U32 : ElemKind::I32;
+  case 64:
+    return ElemKind::I64; // signed and unsigned share the bit pattern
+  default:
+    internal_error << "vm: unsupported element width " << T.Bits;
+    return ElemKind::I64;
+  }
+}
+
+/// A buffer slot at run time: boundary buffers alias caller storage,
+/// internal allocations own theirs for the extent of their scope.
+struct RtBuf {
+  void *Data = nullptr;
+  int64_t SizeElems = 0; ///< 0 = unknown (skip the bounds check)
+  int64_t Bytes = 0;     ///< owned allocations only
+  int64_t Loads = 0, Stores = 0;
+};
+
+} // namespace
+
+VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
+    : Executable(std::move(LP), std::move(T)) {
+  Prog = compileToBytecode(P);
+}
+
+std::shared_ptr<const VmExecutable> halide::vmCompile(
+    const LoweredPipeline &P, const Target &T) {
+  return std::make_shared<VmExecutable>(P, T);
+}
+
+int VmExecutable::run(const ParamBindings &Params,
+                      ExecutionStats *Stats) const {
+  // Per-run state: the register file starts from the compiled template
+  // (constants pre-materialized), buffers and scalar params are resolved
+  // from the bindings once, up front.
+  std::vector<VmSlot> Regs = Prog.InitialRegs;
+  VmSlot *R = Regs.data();
+
+  const size_t NumBufs = Prog.Buffers.size();
+  std::vector<RtBuf> Bufs(NumBufs);
+  std::vector<ElemKind> Kinds(NumBufs);
+  for (size_t BI = 0; BI < NumBufs; ++BI) {
+    const VmBufferDesc &Desc = Prog.Buffers[BI];
+    Kinds[BI] = elemKindOf(Desc.ElemType);
+    if (!Desc.IsBoundary)
+      continue;
+    const RawBuffer &Raw = Params.buffer(Desc.Name);
+    user_assert(Raw.defined()) << "buffer " << Desc.Name << " is undefined";
+    user_assert(Raw.ElemType == Desc.ElemType)
+        << "buffer " << Desc.Name << " has element type "
+        << Raw.ElemType.str() << ", pipeline expects "
+        << Desc.ElemType.str();
+    user_assert(Raw.Dim[0].Stride == 1)
+        << "buffer " << Desc.Name
+        << " must be dense in dimension 0 (stride 1)";
+    RtBuf &B = Bufs[BI];
+    B.Data = Raw.Host;
+    int64_t MaxIndex = 0;
+    for (int D = 0; D < Raw.Dimensions; ++D)
+      MaxIndex += int64_t(Raw.Dim[D].Extent - 1) * Raw.Dim[D].Stride;
+    B.SizeElems = MaxIndex + 1;
+  }
+
+  for (const VmParamInit &PI : Prog.Params) {
+    double Scalar;
+    internal_assert(Params.lookupScalar(PI.Name, &Scalar))
+        << "vm: unbound parameter " << PI.Name;
+    if (PI.IsFloat)
+      R[PI.Slot].F = Scalar;
+    else
+      R[PI.Slot].I = wrapBits(int64_t(Scalar), PI.Bits, PI.SignedWrap);
+  }
+
+  ExecutionStats S;
+  int64_t ParallelIters = 0;
+
+  auto checkBounds = [&](const RtBuf &B, size_t BI, int64_t Idx) {
+    internal_assert(Idx >= 0 && (B.SizeElems == 0 || Idx < B.SizeElems))
+        << "vm: access to " << Prog.Buffers[BI].Name << " at flat index "
+        << Idx << " outside [0, " << B.SizeElems << ")";
+  };
+
+  const VmInstr *Code = Prog.Code.data();
+  size_t PC = 0;
+  for (;;) {
+    const VmInstr &In = Code[PC];
+    const int L = In.Lanes;
+    switch (In.Op) {
+    case VmOp::Mov:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I] = R[In.A + I];
+      break;
+
+#define VM_INT_BINOP(OPNAME, EXPRESSION)                                       \
+  case VmOp::OPNAME:                                                           \
+    for (int I = 0; I < L; ++I) {                                              \
+      int64_t X = R[In.A + I].I, Y = R[In.B + I].I;                            \
+      (void)X;                                                                 \
+      (void)Y;                                                                 \
+      R[In.Dst + I].I = (EXPRESSION);                                          \
+    }                                                                          \
+    break;
+
+    VM_INT_BINOP(AddI, wrapBits(X + Y, In.Bits, In.SignedWrap))
+    VM_INT_BINOP(SubI, wrapBits(X - Y, In.Bits, In.SignedWrap))
+    VM_INT_BINOP(MulI, wrapBits(X * Y, In.Bits, In.SignedWrap))
+    VM_INT_BINOP(DivI, wrapBits(vmFloorDiv(X, Y), In.Bits, true))
+    VM_INT_BINOP(ModI, wrapBits(vmFloorMod(X, Y), In.Bits, true))
+    VM_INT_BINOP(MinI, X < Y ? X : Y)
+    VM_INT_BINOP(MaxI, X > Y ? X : Y)
+    VM_INT_BINOP(DivU, Y == 0 ? 0 : int64_t(uint64_t(X) / uint64_t(Y)))
+    VM_INT_BINOP(ModU, Y == 0 ? 0 : int64_t(uint64_t(X) % uint64_t(Y)))
+    VM_INT_BINOP(MinU, uint64_t(X) < uint64_t(Y) ? X : Y)
+    VM_INT_BINOP(MaxU, uint64_t(X) > uint64_t(Y) ? X : Y)
+    VM_INT_BINOP(EqI, X == Y ? 1 : 0)
+    VM_INT_BINOP(NeI, X != Y ? 1 : 0)
+    VM_INT_BINOP(LtI, X < Y ? 1 : 0)
+    VM_INT_BINOP(LeI, X <= Y ? 1 : 0)
+    VM_INT_BINOP(LtU, uint64_t(X) < uint64_t(Y) ? 1 : 0)
+    VM_INT_BINOP(LeU, uint64_t(X) <= uint64_t(Y) ? 1 : 0)
+    VM_INT_BINOP(AndB, (X && Y) ? 1 : 0)
+    VM_INT_BINOP(OrB, (X || Y) ? 1 : 0)
+#undef VM_INT_BINOP
+
+#define VM_FLOAT_BINOP(OPNAME, EXPRESSION)                                     \
+  case VmOp::OPNAME:                                                           \
+    for (int I = 0; I < L; ++I) {                                              \
+      double X = R[In.A + I].F, Y = R[In.B + I].F;                             \
+      (void)Y;                                                                 \
+      R[In.Dst + I].F = roundF((EXPRESSION), In.Bits);                         \
+    }                                                                          \
+    break;
+
+    VM_FLOAT_BINOP(AddF, X + Y)
+    VM_FLOAT_BINOP(SubF, X - Y)
+    VM_FLOAT_BINOP(MulF, X *Y)
+    VM_FLOAT_BINOP(DivF, X / Y)
+    VM_FLOAT_BINOP(ModF, X - std::floor(X / Y) * Y)
+    VM_FLOAT_BINOP(MinF, X < Y ? X : Y)
+    VM_FLOAT_BINOP(MaxF, X > Y ? X : Y)
+#undef VM_FLOAT_BINOP
+
+#define VM_FLOAT_CMP(OPNAME, EXPRESSION)                                       \
+  case VmOp::OPNAME:                                                           \
+    for (int I = 0; I < L; ++I) {                                              \
+      double X = R[In.A + I].F, Y = R[In.B + I].F;                             \
+      R[In.Dst + I].I = (EXPRESSION) ? 1 : 0;                                  \
+    }                                                                          \
+    break;
+
+    VM_FLOAT_CMP(EqF, X == Y)
+    VM_FLOAT_CMP(NeF, X != Y)
+    VM_FLOAT_CMP(LtF, X < Y)
+    VM_FLOAT_CMP(LeF, X <= Y)
+#undef VM_FLOAT_CMP
+
+    case VmOp::NotB:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].I = R[In.A + I].I ? 0 : 1;
+      break;
+
+    case VmOp::Select:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I] = R[In.C + I].I ? R[In.A + I] : R[In.B + I];
+      break;
+
+    case VmOp::CastIntWrap:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].I = wrapBits(R[In.A + I].I, In.Bits, In.SignedWrap);
+      break;
+    case VmOp::CastIntToF:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].F = roundF(double(R[In.A + I].I), In.Bits);
+      break;
+    case VmOp::CastUIntToF:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].F = roundF(double(uint64_t(R[In.A + I].I)), In.Bits);
+      break;
+    case VmOp::CastFToInt:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].I =
+            wrapBits(int64_t(R[In.A + I].F), In.Bits, In.SignedWrap);
+      break;
+    case VmOp::CastFToF:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].F = roundF(R[In.A + I].F, In.Bits);
+      break;
+
+    case VmOp::Ramp: {
+      int64_t Base = R[In.A].I, Stride = R[In.B].I;
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I].I =
+            wrapBits(Base + int64_t(I) * Stride, In.Bits, In.SignedWrap);
+      break;
+    }
+    case VmOp::BroadcastSlot:
+      for (int I = 0; I < L; ++I)
+        R[In.Dst + I] = R[In.A];
+      break;
+
+    case VmOp::Load: {
+      RtBuf &B = Bufs[size_t(In.Aux)];
+      B.Loads += L;
+      const void *Base = B.Data;
+      switch (Kinds[size_t(In.Aux)]) {
+#define VM_LOAD(KIND, CTYPE, FIELD, CONV)                                      \
+  case ElemKind::KIND:                                                         \
+    for (int I = 0; I < L; ++I) {                                              \
+      int64_t Idx = R[In.A + I].I;                                             \
+      checkBounds(B, size_t(In.Aux), Idx);                                     \
+      R[In.Dst + I].FIELD = CONV(static_cast<const CTYPE *>(Base)[Idx]);       \
+    }                                                                          \
+    break;
+        VM_LOAD(I8, int8_t, I, int64_t)
+        VM_LOAD(U8, uint8_t, I, int64_t)
+        VM_LOAD(I16, int16_t, I, int64_t)
+        VM_LOAD(U16, uint16_t, I, int64_t)
+        VM_LOAD(I32, int32_t, I, int64_t)
+        VM_LOAD(U32, uint32_t, I, int64_t)
+        VM_LOAD(I64, int64_t, I, int64_t)
+        VM_LOAD(F32, float, F, double)
+        VM_LOAD(F64, double, F, double)
+#undef VM_LOAD
+      }
+      break;
+    }
+
+    case VmOp::Store: {
+      RtBuf &B = Bufs[size_t(In.Aux)];
+      B.Stores += L;
+      void *Base = B.Data;
+      switch (Kinds[size_t(In.Aux)]) {
+#define VM_STORE(KIND, CTYPE, FIELD)                                           \
+  case ElemKind::KIND:                                                         \
+    for (int I = 0; I < L; ++I) {                                              \
+      int64_t Idx = R[In.B + I].I;                                             \
+      checkBounds(B, size_t(In.Aux), Idx);                                     \
+      static_cast<CTYPE *>(Base)[Idx] = CTYPE(R[In.A + I].FIELD);              \
+    }                                                                          \
+    break;
+        VM_STORE(I8, int8_t, I)
+        VM_STORE(U8, uint8_t, I)
+        VM_STORE(I16, int16_t, I)
+        VM_STORE(U16, uint16_t, I)
+        VM_STORE(I32, int32_t, I)
+        VM_STORE(U32, uint32_t, I)
+        VM_STORE(I64, int64_t, I)
+        VM_STORE(F32, float, F)
+        VM_STORE(F64, double, F)
+#undef VM_STORE
+      }
+      break;
+    }
+
+    case VmOp::Alloc: {
+      RtBuf &B = Bufs[size_t(In.Aux)];
+      int64_t Elems = R[In.A].I;
+      internal_assert(Elems >= 0)
+          << "negative allocation size for " << Prog.Buffers[size_t(In.Aux)].Name;
+      B.Bytes = Elems * Prog.Buffers[size_t(In.Aux)].ElemType.bytes();
+      B.Data = halideMalloc(B.Bytes);
+      internal_assert(B.Data)
+          << "allocation of " << B.Bytes << " bytes failed for "
+          << Prog.Buffers[size_t(In.Aux)].Name;
+      B.SizeElems = Elems;
+      S.noteAllocation(B.Bytes);
+      break;
+    }
+    case VmOp::FreeOp: {
+      RtBuf &B = Bufs[size_t(In.Aux)];
+      S.noteFree(B.Bytes);
+      halideFree(B.Data);
+      B.Data = nullptr;
+      B.Bytes = 0;
+      B.SizeElems = 0;
+      break;
+    }
+
+    case VmOp::Jump:
+      PC = size_t(In.Aux);
+      continue;
+    case VmOp::JumpIfFalse:
+      if (!R[In.A].I) {
+        PC = size_t(In.Aux);
+        continue;
+      }
+      break;
+    case VmOp::LoopNext:
+      if (++R[In.A].I < R[In.B].I) {
+        PC = size_t(In.Aux);
+        continue;
+      }
+      break;
+
+    case VmOp::AssertCond:
+      user_assert(R[In.A].I)
+          << "pipeline assertion failed: " << Prog.Messages[size_t(In.Aux)];
+      break;
+
+    case VmOp::CallExtern: {
+      const bool Single = In.Bits == 32;
+      for (int I = 0; I < L; ++I) {
+        double X = R[In.A + I].F;
+        double V = 0;
+        switch (VmExtern(In.Aux)) {
+        case VmExtern::Sqrt:
+          V = Single ? std::sqrt(float(X)) : std::sqrt(X);
+          break;
+        case VmExtern::Sin:
+          V = Single ? std::sin(float(X)) : std::sin(X);
+          break;
+        case VmExtern::Cos:
+          V = Single ? std::cos(float(X)) : std::cos(X);
+          break;
+        case VmExtern::Exp:
+          V = Single ? std::exp(float(X)) : std::exp(X);
+          break;
+        case VmExtern::Log:
+          V = Single ? std::log(float(X)) : std::log(X);
+          break;
+        case VmExtern::Floor:
+          V = std::floor(X);
+          break;
+        case VmExtern::Ceil:
+          V = std::ceil(X);
+          break;
+        case VmExtern::Round:
+          V = std::nearbyint(X);
+          break;
+        case VmExtern::Pow: {
+          double Y = R[In.B + I].F;
+          V = Single ? std::pow(float(X), float(Y)) : std::pow(X, Y);
+          break;
+        }
+        }
+        R[In.Dst + I].F = roundF(V, In.Bits);
+      }
+      break;
+    }
+
+    case VmOp::CountParallel:
+      ParallelIters += R[In.A].I;
+      break;
+
+    case VmOp::Halt: {
+      if (Stats) {
+        S.ParallelIterations = ParallelIters;
+        for (size_t BI = 0; BI < NumBufs; ++BI) {
+          const RtBuf &B = Bufs[BI];
+          if (B.Loads)
+            S.LoadsPerBuffer[Prog.Buffers[BI].Name] += B.Loads;
+          if (B.Stores)
+            S.StoresPerBuffer[Prog.Buffers[BI].Name] += B.Stores;
+        }
+        *Stats = std::move(S);
+      }
+      return 0;
+    }
+    }
+    ++PC;
+  }
+}

@@ -1,0 +1,63 @@
+//===-- vm/VmExecutable.h - Bytecode execution backend ----------*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VmBytecode backend: a lowered pipeline compiled once to a flat
+/// bytecode program (vm/VmCompiler.h) and executed by a dispatch loop on
+/// every run. It implements the common Executable interface, so
+/// Pipeline::compile(Target{Backend::VmBytecode}) caches it by schedule
+/// fingerprint exactly like the other backends, and it gathers the same
+/// ExecutionStats (loads/stores per buffer, peak allocation, parallel
+/// iterations) the tree-walking interpreter does — at a fraction of the
+/// per-operation cost, which is what lets the differential suite and the
+/// autotuner afford many more schedules per app.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_VM_VMEXECUTABLE_H
+#define HALIDE_VM_VMEXECUTABLE_H
+
+#include "codegen/Executable.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+
+namespace halide {
+
+/// A pipeline compiled to bytecode, ready to run any number of times.
+/// Execution is serial and deterministic (parallel loop types are counted,
+/// not threaded), and pipeline assertions abort via user_error, so a
+/// completed run always returns 0.
+class VmExecutable final : public Executable {
+public:
+  VmExecutable(LoweredPipeline P, Target T);
+
+  int run(const ParamBindings &Params,
+          ExecutionStats *Stats = nullptr) const override;
+
+  /// The disassembled bytecode (the VM's "generated source"), produced
+  /// on first request: the compile path that feeds the schedule sweeps
+  /// never pays for formatting a listing nobody reads.
+  const std::string &source() const override {
+    if (Listing.empty())
+      Listing = Prog.disassemble();
+    return Listing;
+  }
+
+  const VmProgram &program() const { return Prog; }
+
+private:
+  VmProgram Prog;
+  mutable std::string Listing;
+};
+
+/// Compiles \p P to bytecode for target \p T.
+std::shared_ptr<const VmExecutable> vmCompile(const LoweredPipeline &P,
+                                              const Target &T);
+
+} // namespace halide
+
+#endif // HALIDE_VM_VMEXECUTABLE_H

@@ -2,11 +2,13 @@
 //
 // The differential schedule-correctness suite: for every app in the
 // registry, a deterministic sample of schedules from the autotuner's
-// search space must produce the breadth-first reference result on both
-// back ends (interpreter and CodeGenC), and the reference must agree with
-// the hand-written C++ baseline where one exists. This is the repo-wide
-// safety net behind the paper's "scheduling never changes semantics"
-// guarantee.
+// search space must produce the breadth-first reference result on the
+// bytecode VM (the suite's default engine) and CodeGenC, with the
+// tree-walking interpreter spot-checking a prefix of the sample
+// bit-for-bit; the reference must also agree with the hand-written C++
+// baseline where one exists. This is the repo-wide safety net behind the
+// paper's "scheduling never changes semantics" guarantee.
+// HALIDE_DIFF_BACKEND forces the execution engine (see DiffTest.h).
 //
 //===----------------------------------------------------------------------===//
 

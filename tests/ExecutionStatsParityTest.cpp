@@ -1,0 +1,68 @@
+//===-- tests/ExecutionStatsParityTest.cpp -----------------------------------===//
+//
+// The bytecode VM reports the same ExecutionStats the tree-walking
+// interpreter does — load/store counts per buffer, peak allocation, and
+// parallel iterations — so the Figure-3 footprint tests and the metrics
+// layer can run on either engine interchangeably. Checked on blur
+// (breadth-first and tiled, the paper's canonical recomputation
+// trade-off) and on local_laplacian at reduced pyramid depth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "support/DiffTest.h"
+
+#include <gtest/gtest.h>
+
+using namespace halide;
+
+namespace {
+
+/// Realizes \p A's pipeline at W x H on \p T and returns the stats.
+ExecutionStats statsOn(App &A, const Target &T, int W, int H) {
+  Pipeline Pipe(A.Output);
+  ParamBindings Params = A.MakeInputs(W, H);
+  std::shared_ptr<void> Keep;
+  RawBuffer Out = makeAppOutput(A, W, H, &Keep);
+  return Pipe.realize(Out, Params, T);
+}
+
+void expectStatsParity(App &A, int W, int H) {
+  ExecutionStats I = statsOn(A, Target::interpreter(), W, H);
+  ExecutionStats V = statsOn(A, Target::vm(), W, H);
+
+  EXPECT_EQ(I.StoresPerBuffer, V.StoresPerBuffer) << A.Name;
+  EXPECT_EQ(I.LoadsPerBuffer, V.LoadsPerBuffer) << A.Name;
+  EXPECT_EQ(I.PeakAllocationBytes, V.PeakAllocationBytes) << A.Name;
+  EXPECT_EQ(I.ParallelIterations, V.ParallelIterations) << A.Name;
+  // Both engines saw real work.
+  EXPECT_GT(V.totalStores(), 0) << A.Name;
+}
+
+} // namespace
+
+TEST(ExecutionStatsParityTest, BlurBreadthFirst) {
+  App A = makeBlurApp();
+  A.ScheduleBreadthFirst();
+  expectStatsParity(A, 96, 64);
+}
+
+TEST(ExecutionStatsParityTest, BlurTiled) {
+  // The tuned blur schedule is the paper's tiled + recompute variant: its
+  // work amplification must be observed identically by both engines.
+  App A = makeBlurApp();
+  A.ScheduleTuned();
+  expectStatsParity(A, 96, 64);
+}
+
+TEST(ExecutionStatsParityTest, LocalLaplacianReducedLevels) {
+  App A = makeLocalLaplacianApp(/*Levels=*/3);
+  A.ScheduleBreadthFirst();
+  expectStatsParity(A, 64, 48);
+}
+
+TEST(ExecutionStatsParityTest, LocalLaplacianTunedReducedLevels) {
+  App A = makeLocalLaplacianApp(/*Levels=*/3);
+  A.ScheduleTuned();
+  expectStatsParity(A, 64, 48);
+}

@@ -177,6 +177,10 @@ TEST(TargetTest, ParseRoundTrips) {
   Target T;
   EXPECT_TRUE(Target::parse("interp", &T));
   EXPECT_EQ(T.TargetBackend, Backend::Interpreter);
+  EXPECT_TRUE(Target::parse("vm", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::VmBytecode);
+  EXPECT_TRUE(Target::parse("vm_bytecode", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::VmBytecode);
   EXPECT_TRUE(Target::parse("jit", &T));
   EXPECT_EQ(T.TargetBackend, Backend::JitC);
   EXPECT_TRUE(Target::parse("gpu_sim", &T));
