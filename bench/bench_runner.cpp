@@ -105,18 +105,6 @@ int main(int Argc, char **Argv) {
     runOne(A, "breadth_first", A.ScheduleBreadthFirst, T, W, H, Iters,
            &Rows);
     runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
-    // local_laplacian's simulated-GPU schedule currently lowers in time
-    // exponential in pyramid depth (bounds expressions blow up before the
-    // late CSE pass runs), so it is skipped at the paper's 8-level depth
-    // until bounds inference learns to share subexpressions — see the
-    // ROADMAP open item.
-    if (A.Name == "local_laplacian") {
-      if (A.ScheduleGpu)
-        std::printf("%-16s %-14s skipped (gpu lowering blowup, see "
-                    "ROADMAP)\n",
-                    A.Name.c_str(), "gpu_sim");
-      continue;
-    }
     runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
   }
 

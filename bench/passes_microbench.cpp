@@ -72,6 +72,25 @@ void BM_LowerLocalLaplacian(benchmark::State &State) {
 }
 BENCHMARK(BM_LowerLocalLaplacian);
 
+/// Lowering time of the deep-pyramid simulated-GPU schedule by pyramid
+/// depth: the workload whose bounds expressions used to grow exponentially
+/// before bounds inference learned to share subexpressions (ISSUE 4 /
+/// LoweringScalabilityTest enforce the polynomial trend; this row makes
+/// the trend visible in compile-time benchmarks).
+void BM_LowerPyramid(benchmark::State &State) {
+  App A = makeLocalLaplacianApp(int(State.range(0)));
+  A.ScheduleGpu();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        lower(A.Output.function(), Target::gpuSim()).Body.get());
+}
+BENCHMARK(BM_LowerPyramid)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 //===----------------------------------------------------------------------===//
 // Execution dispatch: interpreter vs bytecode VM on the Figure-3 blur.
 //===----------------------------------------------------------------------===//

@@ -10,10 +10,19 @@ using namespace halide;
 namespace {
 
 /// Interval evaluation of expressions. One visit() per node kind; the
-/// current result is kept in `Result`.
+/// current result is kept in `Result`. Let values are bound through the
+/// sharing ledger: the value's bounds are computed once, then every use of
+/// the let variable sees a small stand-in (the canonicalized expression,
+/// or a ledger name when it is large), never a re-expanded copy.
 class BoundsVisitor : public IRVisitor {
 public:
-  BoundsVisitor(const Scope<Interval> &VarScope) : Outer(VarScope) {}
+  /// \p SharedInner lets a caller walking a statement (BoxesTouched) hand
+  /// its accumulated inner bindings to every nested expression walk
+  /// without copying the scope per expression.
+  BoundsVisitor(const Scope<Interval> &VarScope, ExprLedger *Ledger,
+                Scope<Interval> *SharedInner = nullptr)
+      : Ledger(Ledger), Inner(SharedInner ? SharedInner : &OwnInner),
+        Outer(VarScope) {}
 
   Interval bounds(const Expr &E) {
     E.accept(this);
@@ -32,8 +41,8 @@ public:
   void visit(const StringImm *) override { Result = Interval::everything(); }
 
   void visit(const Variable *Op) override {
-    if (Inner.contains(Op->Name)) {
-      Result = Inner.get(Op->Name);
+    if (Inner->contains(Op->Name)) {
+      Result = Inner->get(Op->Name);
       return;
     }
     if (Outer.contains(Op->Name)) {
@@ -232,12 +241,15 @@ public:
 
   void visit(const Let *Op) override {
     Interval ValueBounds = bounds(Op->Value);
-    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    ScopedBinding<Interval> Bind(*Inner, Op->Name,
+                                 Ledger->shared(ValueBounds, Op->Name));
     Result = bounds(Op->Body);
   }
 
-  /// Also expose the inner scope so box computation can share it.
-  Scope<Interval> Inner;
+  /// The sharing ledger, owned by the walk's entry point.
+  ExprLedger *Ledger;
+  /// Inner bindings (lets crossed); either OwnInner or a caller's scope.
+  Scope<Interval> *Inner;
 
 private:
   void typeRange(Type T) {
@@ -299,6 +311,7 @@ private:
     Result = Interval::everything();
   }
 
+  Scope<Interval> OwnInner;
   const Scope<Interval> &Outer;
   Interval Result;
 };
@@ -309,8 +322,8 @@ private:
 class BoxesTouched : public IRVisitor {
 public:
   BoxesTouched(const Scope<Interval> &VarScope, bool IncludeCalls,
-               bool IncludeProvides)
-      : Vars(VarScope), IncludeCalls(IncludeCalls),
+               bool IncludeProvides, ExprLedger *Ledger)
+      : Vars(VarScope), Ledger(Ledger), IncludeCalls(IncludeCalls),
         IncludeProvides(IncludeProvides) {}
 
   std::map<std::string, Box> Boxes;
@@ -333,95 +346,121 @@ public:
 
   void visit(const Let *Op) override {
     Op->Value.accept(this);
-    BoundsVisitor BV(Vars);
-    BV.Inner = InnerCopy();
-    Interval ValueBounds = BV.bounds(Op->Value);
-    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    ScopedBinding<Interval> Bind(Inner, Op->Name, boundsOf(Op->Value, Op->Name));
     Op->Body.accept(this);
   }
 
   void visit(const LetStmt *Op) override {
     Op->Value.accept(this);
-    BoundsVisitor BV(Vars);
-    BV.Inner = InnerCopy();
-    Interval ValueBounds = BV.bounds(Op->Value);
-    ScopedBinding<Interval> Bind(Inner, Op->Name, ValueBounds);
+    ScopedBinding<Interval> Bind(Inner, Op->Name, boundsOf(Op->Value, Op->Name));
     Op->Body.accept(this);
   }
 
   void visit(const For *Op) override {
     Op->MinExpr.accept(this);
     Op->Extent.accept(this);
-    BoundsVisitor BV(Vars);
-    BV.Inner = InnerCopy();
+    BoundsVisitor BV(Vars, Ledger, &Inner);
     Interval MinB = BV.bounds(Op->MinExpr);
-    BoundsVisitor BV2(Vars);
-    BV2.Inner = InnerCopy();
-    Interval ExtB = BV2.bounds(Op->Extent);
+    Interval ExtB = BV.bounds(Op->Extent);
     Interval LoopRange;
     LoopRange.Min = MinB.Min;
     if (MinB.hasUpperBound() && ExtB.hasUpperBound())
       LoopRange.Max = MinB.Max + ExtB.Max - 1;
-    ScopedBinding<Interval> Bind(Inner, Op->Name, LoopRange);
+    // Every use of the loop variable in the body references the shared
+    // range, not a private copy of it.
+    ScopedBinding<Interval> Bind(Inner, Op->Name,
+                                 Ledger->shared(LoopRange, Op->Name));
     Op->Body.accept(this);
   }
 
 private:
-  // The BoundsVisitor keeps its own inner scope; copy ours in so that
-  // nested lets/loops see the bindings accumulated so far.
-  Scope<Interval> InnerCopy() const { return Inner; }
+  /// Bounds of a let value, computed once and routed through the ledger.
+  /// The expression walk borrows this statement walk's inner scope so the
+  /// bindings accumulated so far are visible without copying them.
+  Interval boundsOf(const Expr &Value, const std::string &Hint) {
+    BoundsVisitor BV(Vars, Ledger, &Inner);
+    return Ledger->shared(BV.bounds(Value), Hint);
+  }
 
   void mergeBox(const std::string &Name, const std::vector<Expr> &Args) {
     Box B(Args.size());
-    for (size_t I = 0; I < Args.size(); ++I) {
-      BoundsVisitor BV(Vars);
-      BV.Inner = InnerCopy();
+    BoundsVisitor BV(Vars, Ledger, &Inner);
+    for (size_t I = 0; I < Args.size(); ++I)
       B[I] = BV.bounds(Args[I]);
-    }
     Boxes[Name].include(B);
   }
 
   const Scope<Interval> &Vars;
   Scope<Interval> Inner;
+  ExprLedger *Ledger;
   bool IncludeCalls, IncludeProvides;
 };
 
+/// Makes a raw box self-contained when the caller did not supply a ledger.
+Box finishBox(Box B, const ExprLedger &Local, const ExprLedger *Caller) {
+  if (Caller)
+    return B;
+  for (Interval &I : B.Dims)
+    I = Local.materialize(I);
+  return B;
+}
+
 } // namespace
 
+BoundsStatistics Bounds::statistics() {
+  return detail::boundsSharingCounters();
+}
+
+void Bounds::resetStatistics() {
+  detail::boundsSharingCounters() = BoundsStatistics();
+}
+
 Interval halide::boundsOfExprInScope(const Expr &E,
-                                     const Scope<Interval> &VarScope) {
-  BoundsVisitor Visitor(VarScope);
-  return Visitor.bounds(E);
+                                     const Scope<Interval> &VarScope,
+                                     ExprLedger *Ledger) {
+  ExprLedger Local;
+  BoundsVisitor Visitor(VarScope, Ledger ? Ledger : &Local);
+  Interval Result = Visitor.bounds(E);
+  return Ledger ? Result : Local.materialize(Result);
 }
 
 Box halide::boxRequired(const Stmt &S, const std::string &Name,
-                        const Scope<Interval> &VarScope) {
+                        const Scope<Interval> &VarScope, ExprLedger *Ledger) {
+  ExprLedger Local;
   BoxesTouched Walker(VarScope, /*IncludeCalls=*/true,
-                      /*IncludeProvides=*/false);
+                      /*IncludeProvides=*/false, Ledger ? Ledger : &Local);
   S.accept(&Walker);
-  return Walker.Boxes[Name];
+  return finishBox(Walker.Boxes[Name], Local, Ledger);
 }
 
 Box halide::boxRequired(const Expr &E, const std::string &Name,
-                        const Scope<Interval> &VarScope) {
+                        const Scope<Interval> &VarScope, ExprLedger *Ledger) {
+  ExprLedger Local;
   BoxesTouched Walker(VarScope, /*IncludeCalls=*/true,
-                      /*IncludeProvides=*/false);
+                      /*IncludeProvides=*/false, Ledger ? Ledger : &Local);
   E.accept(&Walker);
-  return Walker.Boxes[Name];
+  return finishBox(Walker.Boxes[Name], Local, Ledger);
 }
 
 Box halide::boxProvided(const Stmt &S, const std::string &Name,
-                        const Scope<Interval> &VarScope) {
+                        const Scope<Interval> &VarScope, ExprLedger *Ledger) {
+  ExprLedger Local;
   BoxesTouched Walker(VarScope, /*IncludeCalls=*/false,
-                      /*IncludeProvides=*/true);
+                      /*IncludeProvides=*/true, Ledger ? Ledger : &Local);
   S.accept(&Walker);
-  return Walker.Boxes[Name];
+  return finishBox(Walker.Boxes[Name], Local, Ledger);
 }
 
 std::map<std::string, Box> halide::boxesTouched(
     const Stmt &S, const Scope<Interval> &VarScope, bool IncludeCalls,
-    bool IncludeProvides) {
-  BoxesTouched Walker(VarScope, IncludeCalls, IncludeProvides);
+    bool IncludeProvides, ExprLedger *Ledger) {
+  ExprLedger Local;
+  BoxesTouched Walker(VarScope, IncludeCalls, IncludeProvides,
+                      Ledger ? Ledger : &Local);
   S.accept(&Walker);
-  return Walker.Boxes;
+  std::map<std::string, Box> Result = std::move(Walker.Boxes);
+  if (!Ledger)
+    for (auto &[BoxName, B] : Result)
+      B = finishBox(std::move(B), Local, nullptr);
+  return Result;
 }

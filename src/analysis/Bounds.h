@@ -24,26 +24,46 @@
 
 namespace halide {
 
+/// Process-wide observability for the bounds-sharing layer (the ExprLedger
+/// in Interval.h): how often interval endpoints were interned, reused, or
+/// left inline. Tests assert on these counters to keep the sharing layer
+/// honest; they are diagnostics, not part of any result.
+class Bounds {
+public:
+  static BoundsStatistics statistics();
+  static void resetStatistics();
+};
+
 /// Computes a symbolic interval containing every value \p E can take, given
 /// intervals for free variables in \p VarScope. Variables not in scope are
 /// treated as unknown points: they appear symbolically in the result, which
 /// is what lets bounds inference emit per-loop-level preambles. Results are
 /// conservative (may over-approximate) but never under-approximate.
-Interval boundsOfExprInScope(const Expr &E, const Scope<Interval> &VarScope);
+///
+/// All entry points below share subexpressions while they infer: every let
+/// binding and loop range crossed is bound to a ledger name instead of
+/// being re-expanded at each use, which keeps result sizes polynomial in
+/// pipeline depth. With \p Ledger null the result is materialized into a
+/// self-contained expression (ledger definitions become Let wrappers).
+/// Passing a ledger returns *raw* intervals that may reference its names;
+/// the caller decides where the definitions land — bounds inference emits
+/// them once as real LetStmts wrapping each stage's produce node.
+Interval boundsOfExprInScope(const Expr &E, const Scope<Interval> &VarScope,
+                             ExprLedger *Ledger = nullptr);
 
 /// The region of the Func or image named \p Name read by calls within \p S.
 /// Loop variables and lets bound inside \p S are ranged over; variables
 /// bound outside remain symbolic in the result.
 Box boxRequired(const Stmt &S, const std::string &Name,
-                const Scope<Interval> &VarScope);
+                const Scope<Interval> &VarScope, ExprLedger *Ledger = nullptr);
 
 /// Same, for calls appearing in an expression.
 Box boxRequired(const Expr &E, const std::string &Name,
-                const Scope<Interval> &VarScope);
+                const Scope<Interval> &VarScope, ExprLedger *Ledger = nullptr);
 
 /// The region of \p Name written by Provide nodes within \p S.
 Box boxProvided(const Stmt &S, const std::string &Name,
-                const Scope<Interval> &VarScope);
+                const Scope<Interval> &VarScope, ExprLedger *Ledger = nullptr);
 
 /// The union of regions read or written for every Func/image touched in
 /// \p S, keyed by name. Used by bounds inference to process all producers of
@@ -51,7 +71,8 @@ Box boxProvided(const Stmt &S, const std::string &Name,
 std::map<std::string, Box> boxesTouched(const Stmt &S,
                                         const Scope<Interval> &VarScope,
                                         bool IncludeCalls,
-                                        bool IncludeProvides);
+                                        bool IncludeProvides,
+                                        ExprLedger *Ledger = nullptr);
 
 } // namespace halide
 

@@ -45,7 +45,9 @@ Monotonic unify(Monotonic A, Monotonic B) {
 
 class MonotonicVisitor : public IRVisitor {
 public:
-  explicit MonotonicVisitor(const std::string &Var) : Var(Var) {}
+  explicit MonotonicVisitor(const std::string &Var,
+                            const Scope<Monotonic> *Known = nullptr)
+      : Var(Var), Known(Known) {}
 
   Monotonic analyze(const Expr &E) {
     E.accept(this);
@@ -64,6 +66,10 @@ public:
     }
     if (Lets.contains(Op->Name)) {
       Result = Lets.get(Op->Name);
+      return;
+    }
+    if (Known && Known->contains(Op->Name)) {
+      Result = Known->get(Op->Name);
       return;
     }
     Result = Monotonic::Constant;
@@ -217,6 +223,7 @@ private:
   }
 
   const std::string &Var;
+  const Scope<Monotonic> *Known;
   Scope<Monotonic> Lets;
   Monotonic Result = Monotonic::Unknown;
 };
@@ -227,5 +234,13 @@ Monotonic halide::isMonotonic(const Expr &E, const std::string &Var) {
   if (!E.defined())
     return Monotonic::Unknown;
   MonotonicVisitor Visitor(Var);
+  return Visitor.analyze(E);
+}
+
+Monotonic halide::isMonotonic(const Expr &E, const std::string &Var,
+                              const Scope<Monotonic> &Known) {
+  if (!E.defined())
+    return Monotonic::Unknown;
+  MonotonicVisitor Visitor(Var, &Known);
   return Visitor.analyze(E);
 }

@@ -15,6 +15,7 @@
 #ifndef HALIDE_ANALYSIS_MONOTONIC_H
 #define HALIDE_ANALYSIS_MONOTONIC_H
 
+#include "analysis/Scope.h"
 #include "ir/Expr.h"
 
 #include <string>
@@ -32,6 +33,13 @@ enum class Monotonic {
 
 /// Classifies \p E as a function of the scalar variable \p Var.
 Monotonic isMonotonic(const Expr &E, const std::string &Var);
+
+/// Same, with known classifications for free variables bound outside the
+/// expression (e.g. the shared bounds definitions the sharing layer emits
+/// as enclosing LetStmts: their dependence on the loop variable is only
+/// visible through \p Known). Unlisted variables are treated as constant.
+Monotonic isMonotonic(const Expr &E, const std::string &Var,
+                      const Scope<Monotonic> &Known);
 
 const char *monotonicName(Monotonic M);
 

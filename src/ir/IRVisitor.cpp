@@ -117,3 +117,91 @@ void IRVisitor::visit(const IfThenElse *Op) {
 }
 
 void IRVisitor::visit(const Evaluate *Op) { Op->Value.accept(this); }
+
+namespace {
+
+/// Counts every node reached by the default traversal, stopping the
+/// descent once an optional cap is exceeded (callers that only need
+/// "bigger than K?" pay O(K), not O(tree)).
+class NodeCounter : public IRVisitor {
+public:
+  explicit NodeCounter(size_t Cap = SIZE_MAX) : Cap(Cap) {}
+
+  size_t N = 0;
+
+#define HALIDE_COUNT(NODE)                                                    \
+  void visit(const NODE *Op) override {                                       \
+    if (++N > Cap)                                                            \
+      return;                                                                 \
+    IRVisitor::visit(Op);                                                     \
+  }
+  HALIDE_COUNT(IntImm)
+  HALIDE_COUNT(UIntImm)
+  HALIDE_COUNT(FloatImm)
+  HALIDE_COUNT(StringImm)
+  HALIDE_COUNT(Cast)
+  HALIDE_COUNT(Variable)
+  HALIDE_COUNT(Add)
+  HALIDE_COUNT(Sub)
+  HALIDE_COUNT(Mul)
+  HALIDE_COUNT(Div)
+  HALIDE_COUNT(Mod)
+  HALIDE_COUNT(Min)
+  HALIDE_COUNT(Max)
+  HALIDE_COUNT(EQ)
+  HALIDE_COUNT(NE)
+  HALIDE_COUNT(LT)
+  HALIDE_COUNT(LE)
+  HALIDE_COUNT(GT)
+  HALIDE_COUNT(GE)
+  HALIDE_COUNT(And)
+  HALIDE_COUNT(Or)
+  HALIDE_COUNT(Not)
+  HALIDE_COUNT(Select)
+  HALIDE_COUNT(Load)
+  HALIDE_COUNT(Ramp)
+  HALIDE_COUNT(Broadcast)
+  HALIDE_COUNT(Call)
+  HALIDE_COUNT(Let)
+  HALIDE_COUNT(LetStmt)
+  HALIDE_COUNT(AssertStmt)
+  HALIDE_COUNT(ProducerConsumer)
+  HALIDE_COUNT(For)
+  HALIDE_COUNT(Store)
+  HALIDE_COUNT(Provide)
+  HALIDE_COUNT(Allocate)
+  HALIDE_COUNT(Realize)
+  HALIDE_COUNT(Block)
+  HALIDE_COUNT(IfThenElse)
+  HALIDE_COUNT(Evaluate)
+#undef HALIDE_COUNT
+
+private:
+  size_t Cap;
+};
+
+} // namespace
+
+size_t halide::countIRNodes(const Expr &E) {
+  if (!E.defined())
+    return 0;
+  NodeCounter C;
+  E.accept(&C);
+  return C.N;
+}
+
+size_t halide::countIRNodes(const Stmt &S) {
+  if (!S.defined())
+    return 0;
+  NodeCounter C;
+  S.accept(&C);
+  return C.N;
+}
+
+bool halide::irNodeCountExceeds(const Expr &E, size_t Limit) {
+  if (!E.defined())
+    return Limit == 0;
+  NodeCounter C(Limit);
+  E.accept(&C);
+  return C.N > Limit;
+}

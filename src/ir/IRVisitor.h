@@ -63,6 +63,17 @@ public:
   virtual void visit(const Evaluate *);
 };
 
+/// Number of IR nodes in a tree, counting every expression and statement
+/// node once per occurrence. Shared subtrees reached through multiple
+/// parents are counted at each reachable position, so this measures the
+/// size a consumer walking the tree actually sees.
+size_t countIRNodes(const Expr &E);
+size_t countIRNodes(const Stmt &S);
+
+/// True when \p E has more than \p Limit nodes; costs O(Limit), not
+/// O(tree) — the form size-threshold checks should use.
+bool irNodeCountExceeds(const Expr &E, size_t Limit);
+
 } // namespace halide
 
 #endif // HALIDE_IR_IRVISITOR_H

@@ -54,8 +54,10 @@ struct DiffOptions {
   /// Schedules drawn from ScheduleSpace::deterministicSample. The first
   /// five are the canonical variants (breadth-first, max-inline,
   /// tiled+parallel, vectorized, sliding window); the rest are seeded
-  /// random points in the search space.
-  int ScheduleCount = 6;
+  /// random points in the search space. Twelve per app since the bytecode
+  /// VM became the suite's engine (PR 3 made the sweep ~4x faster, so the
+  /// sample affords twice the coverage it had under the interpreter).
+  int ScheduleCount = 12;
   uint32_t Seed = 2013;
   /// Absolute per-element tolerance for float outputs. Integer outputs
   /// must match bit-exactly.

@@ -2,6 +2,7 @@
 
 #include "transforms/BoundsInference.h"
 #include "analysis/Bounds.h"
+#include "analysis/Derivatives.h"
 #include "ir/IRMutator.h"
 #include "ir/IROperators.h"
 #include "ir/IRPrinter.h"
@@ -10,9 +11,44 @@
 #include "transforms/Simplify.h"
 #include "transforms/Substitute.h"
 
+#include <set>
+
 using namespace halide;
 
 namespace {
+
+/// Prefixes \p Lets with the ledger definitions their values
+/// (transitively) reference, in creation order, dropping definitions
+/// nothing uses.
+std::vector<std::pair<std::string, Expr>>
+prependLedgerDefs(const ExprLedger &Ledger,
+                  std::vector<std::pair<std::string, Expr>> Lets) {
+  const auto &Defs = Ledger.defs();
+  if (Defs.empty())
+    return Lets;
+  std::set<std::string> Needed;
+  auto CollectFrom = [&](const Expr &E) {
+    for (const std::string &V : freeVars(E))
+      if (Ledger.contains(V))
+        Needed.insert(V);
+  };
+  for (const auto &[Name, Value] : Lets)
+    CollectFrom(Value);
+  std::vector<char> Keep(Defs.size(), 0);
+  for (size_t I = Defs.size(); I-- > 0;) {
+    if (!Needed.count(Defs[I].first))
+      continue;
+    Keep[I] = 1;
+    CollectFrom(Defs[I].second);
+  }
+  std::vector<std::pair<std::string, Expr>> Result;
+  for (size_t I = 0; I < Defs.size(); ++I)
+    if (Keep[I])
+      Result.push_back(Defs[I]);
+  Result.insert(Result.end(), std::make_move_iterator(Lets.begin()),
+                std::make_move_iterator(Lets.end()));
+  return Result;
+}
 
 /// Finds the unique produce / consume ProducerConsumer nodes for a name.
 class FindProduceConsume : public IRVisitor {
@@ -44,60 +80,74 @@ private:
 
 /// Collects the For loops and LetStmts on the path from a statement down to
 /// the produce node of a name (the "intervening" loops between the storage
-/// and compute levels).
+/// and compute levels) in a single pass: a DFS snapshots the ancestor
+/// chain when it reaches the produce node. Each binding on the chain is
+/// then ranged exactly once, raw against the caller's ledger, so
+/// everything downstream references shared results by name.
 class PathToProduce : public IRVisitor {
 public:
-  explicit PathToProduce(const std::string &Name) : Name(Name) {}
+  PathToProduce(const std::string &Name, ExprLedger *Ledger)
+      : Ledger(Ledger), Name(Name) {}
 
   /// Loop-name -> interval, plus let bounds, accumulated along the path.
   Scope<Interval> PathScope;
-  /// The serial loops on the path, outermost first (used by the sliding
-  /// window pass via a similar walk; collected here for assertions).
-  std::vector<const For *> PathLoops;
   bool Found = false;
 
+  void walk(const Stmt &S) {
+    S.accept(this);
+    if (!Found)
+      return;
+    for (const Stmt &Node : Chain) {
+      if (const For *Loop = Node.as<For>()) {
+        Interval MinB = boundsOfExprInScope(Loop->MinExpr, PathScope, Ledger);
+        Interval ExtB = boundsOfExprInScope(Loop->Extent, PathScope, Ledger);
+        Interval LoopRange;
+        LoopRange.Min = MinB.Min;
+        if (MinB.hasUpperBound() && ExtB.hasUpperBound())
+          LoopRange.Max = simplify(MinB.Max + ExtB.Max - 1);
+        PathScope.push(Loop->Name, Ledger->shared(LoopRange, Loop->Name));
+      } else if (const LetStmt *L = Node.as<LetStmt>()) {
+        PathScope.push(
+            L->Name,
+            Ledger->shared(boundsOfExprInScope(L->Value, PathScope, Ledger),
+                           L->Name));
+      }
+    }
+  }
+
   void visit(const ProducerConsumer *Op) override {
+    if (Found)
+      return;
     if (Op->Name == Name && Op->IsProducer) {
       Found = true;
+      Chain = Stack;
       return;
     }
-    if (!Found)
-      IRVisitor::visit(Op);
+    IRVisitor::visit(Op);
   }
 
   void visit(const For *Op) override {
     if (Found)
       return;
-    // Does this subtree contain the produce node?
-    FindProduceConsume Finder(Name);
-    Op->Body.accept(&Finder);
-    if (!Finder.Produce.defined())
-      return; // not on the path
-    Interval MinB = boundsOfExprInScope(Op->MinExpr, PathScope);
-    Interval ExtB = boundsOfExprInScope(Op->Extent, PathScope);
-    Interval LoopRange;
-    LoopRange.Min = MinB.Min;
-    if (MinB.hasUpperBound() && ExtB.hasUpperBound())
-      LoopRange.Max = simplify(MinB.Max + ExtB.Max - 1);
-    PathScope.push(Op->Name, LoopRange);
-    PathLoops.push_back(Op);
-    Op->Body.accept(this);
+    Stack.push_back(Stmt(Op));
+    IRVisitor::visit(Op);
+    if (!Found)
+      Stack.pop_back();
   }
 
   void visit(const LetStmt *Op) override {
     if (Found)
       return;
-    FindProduceConsume Finder(Name);
-    Op->Body.accept(&Finder);
-    if (!Finder.Produce.defined()) {
-      return;
-    }
-    PathScope.push(Op->Name, boundsOfExprInScope(Op->Value, PathScope));
-    Op->Body.accept(this);
+    Stack.push_back(Stmt(Op));
+    IRVisitor::visit(Op);
+    if (!Found)
+      Stack.pop_back();
   }
 
 private:
+  ExprLedger *Ledger;
   const std::string &Name;
+  std::vector<Stmt> Stack, Chain;
 };
 
 /// Wraps the produce node for \p Name in the given LetStmts.
@@ -145,10 +195,15 @@ protected:
 
     // Region required by consumers (paper: "the region produced of each
     // stage [must] be at least as large as the region consumed by
-    // subsequent stages").
+    // subsequent stages"). The walk shares subexpressions through a
+    // per-stage ledger: the returned intervals are raw references into it,
+    // and the definitions are emitted below as LetStmts above the stage's
+    // min/extent chain — one binding per reused bounds subtree, however
+    // many stages or dimensions reference it.
     Scope<Interval> Empty;
+    ExprLedger Ledger;
     Box Consumer = boxRequired(Finder.Consume.as<ProducerConsumer>()->Body,
-                               Op->Name, Empty);
+                               Op->Name, Empty, &Ledger);
     internal_assert(int(Consumer.size()) == Rank ||
                     Consumer.empty())
         << "consumer box of " << Op->Name << " has wrong rank";
@@ -157,7 +212,7 @@ protected:
     // recursive reads), expressed in terms of the still-symbolic required
     // region; resolved by substituting the consumer box.
     Box Self = boxesTouched(Finder.Produce, Empty, /*IncludeCalls=*/true,
-                            /*IncludeProvides=*/true)[Op->Name];
+                            /*IncludeProvides=*/true, &Ledger)[Op->Name];
 
     std::vector<std::pair<std::string, Expr>> Lets;
     std::vector<Expr> MinExprs(Rank), MaxExprs(Rank);
@@ -176,6 +231,10 @@ protected:
     }
     if (!Self.empty()) {
       internal_assert(int(Self.size()) == Rank);
+      // The self region (and any ledger definitions it pulled in) is
+      // expressed in terms of the stage's own still-symbolic region
+      // variables; resolve both against the consumer region.
+      Ledger.substituteInDefs(SelfSubstitution);
       for (int D = 0; D < Rank; ++D) {
         internal_assert(Self[D].isBounded())
             << "bounds inference: self region of " << Op->Name
@@ -197,23 +256,39 @@ protected:
         }
       }
       Lets.emplace_back(funcMinName(Op->Name, D), MinExprs[D]);
+      // Built from the raw endpoints so that shared terms cancel: the
+      // extent of a dimension whose min and max ride the same ledger
+      // names frequently folds to a constant here.
       Lets.emplace_back(funcExtentName(Op->Name, D),
                         simplify(MaxExprs[D] - MinExprs[D] + 1));
     }
+
+    // The ledger definitions the min/extent chain (transitively) uses
+    // become real LetStmts above it, in creation order — later
+    // definitions may reference earlier ones, never the reverse.
+    Lets = prependLedgerDefs(Ledger, std::move(Lets));
 
     WrapProduce Wrapper(Op->Name, Lets);
     Body = Wrapper.mutate(Body);
 
     // Allocation bounds: the compute-site region bounded over the loops
     // between the storage level (here) and the compute level, with the
-    // extent rounded up to the traversed extent of split dimensions.
-    PathToProduce Path(Op->Name);
-    Body.accept(&Path);
+    // extent rounded up to the traversed extent of split dimensions. The
+    // path walk and the per-dimension ranging share one ledger, so each
+    // preamble binding is bounded once; min and max then cancel
+    // structurally in the extent, and only the final expressions are
+    // materialized (the Realize sits outside the preamble lets and must
+    // stay self-contained).
+    ExprLedger PathLedger;
+    PathToProduce Path(Op->Name, &PathLedger);
+    Path.walk(Body);
     internal_assert(Path.Found) << "lost produce node for " << Op->Name;
     Region RealizeBounds;
     for (int D = 0; D < Rank; ++D) {
-      Interval MinB = boundsOfExprInScope(MinExprs[D], Path.PathScope);
-      Interval MaxB = boundsOfExprInScope(MaxExprs[D], Path.PathScope);
+      Interval MinB =
+          boundsOfExprInScope(MinExprs[D], Path.PathScope, &PathLedger);
+      Interval MaxB =
+          boundsOfExprInScope(MaxExprs[D], Path.PathScope, &PathLedger);
       internal_assert(MinB.hasLowerBound() && MaxB.hasUpperBound())
           << "allocation bounds of " << Op->Name << " dimension " << D
           << " are unbounded over the loops between store and compute "
@@ -221,7 +296,8 @@ protected:
       Expr AllocMin = simplify(MinB.Min);
       Expr RequiredExtent = simplify(MaxB.Max - MinB.Min + 1);
       Expr AllocExtent = simplify(writtenExtent(F, D, RequiredExtent));
-      RealizeBounds.emplace_back(AllocMin, AllocExtent);
+      RealizeBounds.emplace_back(simplify(PathLedger.materialize(AllocMin)),
+                                 simplify(PathLedger.materialize(AllocExtent)));
     }
     return Realize::make(Op->Name, Op->ElemType, std::move(RealizeBounds),
                          Body);

@@ -1,11 +1,13 @@
 //===-- transforms/CSE.cpp ------------------------------------------------------=//
 
 #include "transforms/CSE.h"
+#include "analysis/Derivatives.h"
 #include "ir/IREquality.h"
 #include "ir/IRMutator.h"
 #include "ir/IRVisitor.h"
 
 #include <map>
+#include <set>
 
 using namespace halide;
 
@@ -76,6 +78,13 @@ public:
     for (const Expr &Arg : Op->Args)
       countExpr(Arg);
   }
+  // Let values are candidates too (the bounds-sharing layer puts Let
+  // expressions into statement-level positions, so CSE sees them before
+  // its own pass ever introduced any).
+  void visit(const Let *Op) override {
+    countExpr(Op->Value);
+    Op->Body.accept(this);
+  }
 
 private:
   template <typename T> void countBinary(const T *Op) {
@@ -97,7 +106,10 @@ public:
       return E;
     if (isNontrivial(E)) {
       auto It = Counts.find(E);
-      if (It != Counts.end() && It->second > 1) {
+      // An expression using a Let-bound variable cannot be hoisted to the
+      // binding block at the top of the statement: its name would escape
+      // its scope. Leave such subtrees inline.
+      if (It != Counts.end() && It->second > 1 && !usesBoundName(E)) {
         auto Cached = Replacements.find(E);
         if (Cached != Replacements.end())
           return Cached->second;
@@ -112,9 +124,32 @@ public:
     return IRMutator::mutate(E);
   }
 
+protected:
+  Expr visit(const Let *Op) override {
+    Expr Value = mutate(Op->Value);
+    if (++BoundCounts[Op->Name] == 1)
+      BoundNames.insert(Op->Name);
+    Expr Body = mutate(Op->Body);
+    if (--BoundCounts[Op->Name] == 0) {
+      BoundCounts.erase(Op->Name);
+      BoundNames.erase(Op->Name);
+    }
+    if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
+      return Op;
+    return Let::make(Op->Name, Value, Body);
+  }
+
 private:
+  bool usesBoundName(const Expr &E) const {
+    return !BoundNames.empty() && exprUsesVars(E, BoundNames);
+  }
+
   const std::map<Expr, int, ExprCompare> &Counts;
   std::map<Expr, Expr, ExprCompare> Replacements;
+  /// Names of Let bindings currently in scope during the mutation, as a
+  /// ready-made set so each hoist-candidate query pays no setup.
+  std::map<std::string, int> BoundCounts;
+  std::set<std::string> BoundNames;
 };
 
 Expr cseOne(const Expr &E) {

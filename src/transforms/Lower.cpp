@@ -83,12 +83,17 @@ LoweredPipeline halide::lower(const Function &Output, const Target &T) {
   // Section 4.2: bounds inference. The output's own required region
   // variables ("out.min.d"/"out.extent.d") are intentionally left unbound:
   // they coincide with the output buffer's metadata parameters, so all
-  // generated bounds depend only on the size of the output image.
+  // generated bounds depend only on the size of the output image. Each
+  // stage's region is introduced once, as named lets above its produce
+  // node — reused bounds subexpressions become shared definitions in that
+  // preamble rather than copies at every use site, which keeps lowering
+  // polynomial in pipeline depth (deep pyramids used to blow up here).
   S = boundsInference(S, Result.Env);
 
   // Section 4.3: reuse and memory optimizations. These run before global
-  // simplification: they pattern-match the bounds-let preambles that
-  // simplification would otherwise inline away.
+  // simplification: they pattern-match the bounds-let preambles (including
+  // the shared definitions above the min/extent chains) that
+  // simplification would otherwise inline away or drop.
   if (!T.DisableSlidingWindow)
     S = slidingWindow(S, Result.Env);
   if (!T.DisableStorageFolding)

@@ -2,12 +2,15 @@
 
 #include "transforms/Simplify.h"
 #include "analysis/Derivatives.h"
+#include "analysis/Scope.h"
 #include "ir/IREquality.h"
 #include "ir/IRMutator.h"
 #include "ir/IROperators.h"
+#include "ir/IRVisitor.h"
 #include "transforms/Substitute.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace halide;
 
@@ -384,25 +387,60 @@ protected:
     return Ramp::make(Base, Stride, Op->Lanes);
   }
 
+  // Trivial let values (constants, variable aliases, vector index shapes)
+  // are inlined by carrying the binding in a scope consulted at each
+  // Variable, not by an eager substitute() — one traversal total, where
+  // per-let substitution cost O(lets x body) on the deep preamble chains
+  // bounds inference now emits. Dead lets are swept afterwards in one
+  // batched pass (removeDeadLets) for the same reason.
+  Expr visit(const Variable *Op) override {
+    if (InlinedLets.contains(Op->Name)) {
+      const Expr &Replacement = InlinedLets.get(Op->Name);
+      if (Replacement.defined())
+        return Replacement;
+    }
+    return Op;
+  }
+
   Expr visit(const Let *Op) override {
+    SawLet = true;
     Expr Value = mutate(Op->Value);
-    if (shouldInlineLet(Value))
-      return mutate(substitute(Op->Name, Value, Op->Body));
+    if (shouldInlineLet(Value)) {
+      // When the value itself references a shadowed outer binding of the
+      // same name (splits reuse the old dimension name for the outer loop
+      // variable), a scope binding would resolve those references to the
+      // value itself while it is being re-visited. Substitute eagerly for
+      // this rare shape; carry the binding in scope otherwise.
+      if (exprUsesVar(Value, Op->Name))
+        return mutate(substitute(Op->Name, Value, Op->Body));
+      ScopedBinding<Expr> Bind(InlinedLets, Op->Name, Value);
+      return mutate(Op->Body);
+    }
+    // An undefined binding shadows any enclosing inlined let of this name.
+    ScopedBinding<Expr> Shadow(InlinedLets, Op->Name, Expr());
     Expr Body = mutate(Op->Body);
-    if (!exprUsesVar(Body, Op->Name))
-      return Body;
+    // A let whose body is just its own variable is the value itself — the
+    // shape the bounds-sharing layer produces for a lone shared endpoint.
+    if (const Variable *V = Body.as<Variable>())
+      if (V->Name == Op->Name)
+        return Value;
     if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
       return Op;
     return Let::make(Op->Name, Value, Body);
   }
 
   Stmt visit(const LetStmt *Op) override {
+    SawLet = true;
     Expr Value = mutate(Op->Value);
-    if (shouldInlineLet(Value))
-      return mutate(substitute(Op->Name, Value, Op->Body));
+    if (shouldInlineLet(Value)) {
+      // See visit(Let): self-shadowing values must not ride the scope.
+      if (exprUsesVar(Value, Op->Name))
+        return mutate(substitute(Op->Name, Value, Op->Body));
+      ScopedBinding<Expr> Bind(InlinedLets, Op->Name, Value);
+      return mutate(Op->Body);
+    }
+    ScopedBinding<Expr> Shadow(InlinedLets, Op->Name, Expr());
     Stmt Body = mutate(Op->Body);
-    if (!stmtUsesVar(Body, Op->Name))
-      return Body;
     if (Value.sameAs(Op->Value) && Body.sameAs(Op->Body))
       return Op;
     return LetStmt::make(Op->Name, Value, Body);
@@ -420,6 +458,8 @@ protected:
         return Body;
       }
     }
+    // The loop variable shadows any enclosing inlined let of its name.
+    ScopedBinding<Expr> Shadow(InlinedLets, Op->Name, Expr());
     Stmt Body = mutate(Op->Body);
     if (isNoOpStmt(Body))
       return noOpStmt();
@@ -472,7 +512,17 @@ protected:
     return AssertStmt::make(Condition, Op->Message);
   }
 
+public:
+  /// Whether any Let/LetStmt was encountered — when false, the dead-let
+  /// sweep has nothing to do and is skipped (simplify() runs on every
+  /// ledger endpoint during bounds walks, most of which are let-free).
+  bool SawLet = false;
+
 private:
+  /// Bindings for lets being inlined; an undefined Expr marks a shadowing
+  /// (non-inlined) binding of the same name.
+  Scope<Expr> InlinedLets;
+
   static bool shouldInlineLet(const Expr &Value) {
     // Constants, plain variable aliases, and vector index shapes always
     // inline: keeping ramps visible at loads/stores is what lets the
@@ -584,21 +634,96 @@ private:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// Batched dead-let elimination: one counting walk plus one removal walk per
+// round, instead of a per-let O(body) liveness scan inside the simplifier.
+//===----------------------------------------------------------------------===//
+
+/// Counts occurrences of every variable name (aggregated across scopes —
+/// a name is only removable when no occurrence anywhere uses it, which is
+/// conservative under shadowing).
+class CountVarUses : public IRVisitor {
+public:
+  std::map<std::string, size_t> Counts;
+  void visit(const Variable *Op) override { ++Counts[Op->Name]; }
+};
+
+/// Drops Let/LetStmt bindings whose name is never referenced.
+class DropDeadLets : public IRMutator {
+public:
+  explicit DropDeadLets(const std::map<std::string, size_t> &Counts)
+      : Counts(Counts) {}
+
+  bool Removed = false;
+
+protected:
+  Expr visit(const Let *Op) override {
+    if (!Counts.count(Op->Name)) {
+      Removed = true;
+      return mutate(Op->Body);
+    }
+    return IRMutator::visit(Op);
+  }
+
+  Stmt visit(const LetStmt *Op) override {
+    if (!Counts.count(Op->Name)) {
+      Removed = true;
+      return mutate(Op->Body);
+    }
+    return IRMutator::visit(Op);
+  }
+
+private:
+  const std::map<std::string, size_t> &Counts;
+};
+
+template <typename NodeT> NodeT removeDeadLets(NodeT S) {
+  // A removed let can orphan names its value referenced; iterate to a
+  // fixpoint, with a cap so pathological chains cost bounded time (any
+  // survivors are merely unused bindings).
+  for (int Round = 0; Round < 8; ++Round) {
+    CountVarUses Uses;
+    S.accept(&Uses);
+    DropDeadLets Dropper(Uses.Counts);
+    NodeT Next = Dropper.mutate(S);
+    if (!Dropper.Removed)
+      break;
+    S = Next;
+  }
+  return S;
+}
+
+} // namespace
+
+namespace {
+
+/// Two Simplifier rounds (rules frequently expose further folding), then
+/// the batched dead-let sweep. Removing a let can unblock folds its node
+/// was splitting apart (e.g. an ancestor of a body that collapsed to a
+/// constant), so a removal triggers one more fold-and-sweep round.
+template <typename NodeT> NodeT simplifyImpl(const NodeT &X) {
+  Simplifier S;
+  NodeT Folded = S.mutate(S.mutate(X));
+  if (!S.SawLet)
+    return Folded;
+  NodeT Swept = removeDeadLets(Folded);
+  if (!Swept.sameAs(Folded))
+    Swept = removeDeadLets(S.mutate(Swept));
+  return Swept;
+}
+
 } // namespace
 
 Expr halide::simplify(const Expr &E) {
   if (!E.defined())
     return E;
-  Simplifier S;
-  // Two rounds: rules frequently expose further folding opportunities.
-  return S.mutate(S.mutate(E));
+  return simplifyImpl(E);
 }
 
 Stmt halide::simplify(const Stmt &S) {
   if (!S.defined())
     return S;
-  Simplifier Simp;
-  return Simp.mutate(Simp.mutate(S));
+  return simplifyImpl(S);
 }
 
 bool halide::isProvablyTrue(const Expr &E) {

@@ -1,6 +1,7 @@
 //===-- transforms/SlidingWindow.cpp --------------------------------------------=//
 
 #include "transforms/SlidingWindow.h"
+#include "analysis/Derivatives.h"
 #include "analysis/Monotonic.h"
 #include "ir/IRMutator.h"
 #include "ir/IROperators.h"
@@ -29,8 +30,19 @@ protected:
     // We are looking for the chain of lets directly wrapping the produce
     // node. Collect the whole chain, then decide.
     if (!startsWith(Op->Name, FuncName + ".min.") &&
-        !startsWith(Op->Name, FuncName + ".extent."))
-      return IRMutator::visit(Op);
+        !startsWith(Op->Name, FuncName + ".extent.")) {
+      // Not part of the chain. Record the binding — bounds inference now
+      // emits shared bounds definitions as enclosing lets, so the chain's
+      // dependence on the loop variable may only be visible through them.
+      Monotonic M = isMonotonic(Op->Value, LoopVar, LetMono);
+      ScopedBinding<Monotonic> BindMono(LetMono, Op->Name, M);
+      ActiveLets.push_back({Op->Name, Op->Value, M != Monotonic::Constant});
+      Stmt Body = mutate(Op->Body);
+      ActiveLets.pop_back();
+      if (Body.sameAs(Op->Body))
+        return Op;
+      return LetStmt::make(Op->Name, Op->Value, Body);
+    }
 
     // Gather the full let chain and the statement under it.
     std::vector<std::pair<std::string, Expr>> Chain;
@@ -61,12 +73,13 @@ protected:
         return IRMutator::visit(Op);
 
     // Find the single dimension that marches with the loop; all others must
-    // be loop-invariant for the rewrite to be sound.
+    // be loop-invariant for the rewrite to be sound. The analysis sees
+    // through enclosing shared-bounds lets via LetMono.
     int SlideDim = -1;
     for (int D = 0; D < Rank; ++D) {
-      Monotonic MinMono = isMonotonic(Mins[D], LoopVar);
+      Monotonic MinMono = isMonotonic(Mins[D], LoopVar, LetMono);
       Monotonic MaxMono =
-          isMonotonic(simplify(Mins[D] + Extents[D] - 1), LoopVar);
+          isMonotonic(simplify(Mins[D] + Extents[D] - 1), LoopVar, LetMono);
       if (MinMono == Monotonic::Constant && MaxMono == Monotonic::Constant)
         continue;
       if (MinMono == Monotonic::Increasing &&
@@ -81,10 +94,14 @@ protected:
 
     // New minimum: skip everything computed by the previous iteration. The
     // first iteration computes the full region (select on LoopVar==LoopMin).
+    // The previous iteration's maximum shifts the loop variable back by
+    // one, which must reach loop-variable dependence hidden inside shared
+    // bounds definitions — expand exactly those before substituting.
     Expr OldMin = Mins[SlideDim];
     Expr OldMax = simplify(OldMin + Extents[SlideDim] - 1);
     Expr PrevMax = substitute(
-        LoopVar, Variable::make(Int(32), LoopVar) - 1, OldMax);
+        LoopVar, Variable::make(Int(32), LoopVar) - 1,
+        expandLoopDependentLets(OldMax));
     Expr LoopVarExpr = Variable::make(Int(32), LoopVar);
     Expr NewMin = select(LoopVarExpr == LoopMin, OldMin,
                          max(OldMin, PrevMax + 1));
@@ -105,10 +122,32 @@ protected:
   }
 
 private:
+  /// An enclosing LetStmt seen on the way down to the chain.
+  struct ActiveLet {
+    std::string Name;
+    Expr Value;
+    bool LoopDependent;
+  };
+
+  /// Substitutes away every active let whose value depends on the loop
+  /// variable (innermost first, so values referencing other such lets
+  /// resolve transitively). Loop-invariant lets stay by name: they remain
+  /// in scope at the rewritten chain and need no copy.
+  Expr expandLoopDependentLets(Expr E) const {
+    for (size_t I = ActiveLets.size(); I-- > 0;) {
+      const ActiveLet &L = ActiveLets[I];
+      if (L.LoopDependent && exprUsesVar(E, L.Name))
+        E = substitute(L.Name, L.Value, E);
+    }
+    return E;
+  }
+
   std::string FuncName;
   int Rank;
   std::string LoopVar;
   Expr LoopMin;
+  Scope<Monotonic> LetMono;
+  std::vector<ActiveLet> ActiveLets;
 };
 
 /// Walks the tree looking for Realize nodes; within each, finds serial

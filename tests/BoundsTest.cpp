@@ -7,6 +7,7 @@
 #include "ir/IREquality.h"
 #include "ir/IROperators.h"
 #include "ir/IRPrinter.h"
+#include "ir/IRVisitor.h"
 #include "transforms/Simplify.h"
 #include "transforms/Substitute.h"
 
@@ -115,6 +116,142 @@ TEST(BoundsTest, BoxRequiredStencil) {
   Box P = boxProvided(S, "g", Empty);
   ASSERT_EQ(P.size(), 2u);
   EXPECT_EQ(constOf(P[0].Max), 19);
+}
+
+//===----------------------------------------------------------------------===//
+// The sharing layer (ExprLedger): identical sub-intervals resolve to one
+// let-bound name, hits are observable through Bounds::statistics(), and
+// the sharing survives Simplify/Substitute round-trips.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A deterministic expression over the free variable "u" that is too large
+/// for the ledger's inline threshold, so its bounds must be interned.
+Expr bigSharedValue() {
+  return min(var("u") * 2 + 1,
+             min(var("u") * 3 + 2,
+                 min(var("u") * 5 + 3, var("u") * 7 + 4)));
+}
+
+/// Collects every Let binding and every Variable occurrence in a tree.
+class LetAndVarCollector : public IRVisitor {
+public:
+  std::map<std::string, int> LetDefs;
+  std::map<std::string, int> VarUses;
+
+  void visit(const Let *Op) override {
+    ++LetDefs[Op->Name];
+    IRVisitor::visit(Op);
+  }
+  void visit(const Variable *Op) override { ++VarUses[Op->Name]; }
+};
+
+} // namespace
+
+TEST(BoundsSharingTest, IdenticalSubIntervalsShareOneLetName) {
+  Bounds::resetStatistics();
+  // Two lets with structurally identical large values: their bounds must
+  // intern to the same ledger name, observable as one miss plus hits.
+  Expr E = Let::make("a", bigSharedValue(),
+                     Let::make("b", bigSharedValue(),
+                               var("a") + var("b")));
+  Scope<Interval> S;
+  Interval B = boundsOfExprInScope(E, S);
+  ASSERT_TRUE(B.isBounded());
+
+  BoundsStatistics Stats = Bounds::statistics();
+  EXPECT_GE(Stats.CacheMisses, 1u) << "the large value was never interned";
+  EXPECT_GE(Stats.CacheHits, 1u)
+      << "the second identical value did not reuse the first's name";
+  EXPECT_GE(Stats.LetsEmitted, 1u) << "materialize() emitted no definitions";
+
+  // The materialized endpoint carries exactly one definition of the shared
+  // value, referenced from both use sites.
+  LetAndVarCollector C;
+  B.Min.accept(&C);
+  ASSERT_EQ(C.LetDefs.size(), 1u)
+      << "expected a single shared definition, got " << C.LetDefs.size();
+  const std::string &SharedName = C.LetDefs.begin()->first;
+  EXPECT_EQ(C.LetDefs.begin()->second, 1);
+  EXPECT_EQ(C.VarUses[SharedName], 2)
+      << "both let-bound uses should reference the shared name";
+
+  // Semantics: the shared form evaluates like the tree it replaced.
+  for (int U : {-3, 0, 7}) {
+    Expr Direct = simplify(substitute("u", Expr(U),
+                                      bigSharedValue() + bigSharedValue()));
+    Expr Shared = simplify(substitute("u", Expr(U), B.Min));
+    int64_t DirectV = 0, SharedV = 0;
+    ASSERT_TRUE(proveConstInt(Direct, &DirectV));
+    ASSERT_TRUE(proveConstInt(Shared, &SharedV)) << exprToString(Shared);
+    EXPECT_EQ(DirectV, SharedV) << "at u=" << U;
+  }
+}
+
+TEST(BoundsSharingTest, SmallEndpointsStayInline) {
+  Bounds::resetStatistics();
+  Scope<Interval> S;
+  S.push("x", Interval(Expr(0), Expr(9)));
+  Expr E = Let::make("t", var("x") + 1, var("t") * 2);
+  Interval B = boundsOfExprInScope(E, S);
+  EXPECT_EQ(constOf(B.Min), 2);
+  EXPECT_EQ(constOf(B.Max), 20);
+  BoundsStatistics Stats = Bounds::statistics();
+  EXPECT_EQ(Stats.CacheMisses, 0u)
+      << "a hand-countable endpoint should not be interned";
+  EXPECT_GE(Stats.EndpointsInlined, 1u);
+}
+
+TEST(BoundsSharingTest, SharingSurvivesSimplifyAndSubstitute) {
+  Expr E = Let::make("a", bigSharedValue(),
+                     Let::make("b", bigSharedValue(),
+                               var("a") + var("b")));
+  Scope<Interval> S;
+  Interval B = boundsOfExprInScope(E, S);
+
+  // Simplify must traverse the Let structure, not re-expand it.
+  Expr Simplified = simplify(B.Min);
+  LetAndVarCollector C;
+  Simplified.accept(&C);
+  EXPECT_EQ(C.LetDefs.size(), 1u)
+      << "simplify re-expanded or dropped the shared definition: "
+      << exprToString(Simplified);
+
+  // Substituting an unrelated variable leaves the sharing intact.
+  Expr Sub = substitute("unrelated", Expr(1), Simplified);
+  LetAndVarCollector C2;
+  Sub.accept(&C2);
+  EXPECT_EQ(C2.LetDefs.size(), 1u);
+
+  // A Simplify -> Substitute -> Simplify round-trip stays semantically
+  // equal to the unshared tree.
+  Expr Final = simplify(substitute("u", Expr(4), Sub));
+  int64_t FinalV = 0, DirectV = 0;
+  ASSERT_TRUE(proveConstInt(Final, &FinalV));
+  ASSERT_TRUE(proveConstInt(
+      simplify(substitute("u", Expr(4),
+                          bigSharedValue() + bigSharedValue())),
+      &DirectV));
+  EXPECT_EQ(FinalV, DirectV);
+}
+
+TEST(BoundsSharingTest, LedgerMaterializeIsSelfContained) {
+  // Raw results against a caller-owned ledger reference ledger names;
+  // materialize() must wrap every transitively needed definition.
+  ExprLedger Ledger;
+  Scope<Interval> S;
+  Expr E = Let::make("a", bigSharedValue(), var("a") - 1);
+  Interval Raw = boundsOfExprInScope(E, S, &Ledger);
+  ASSERT_TRUE(Raw.isBounded());
+  Interval Done = Ledger.materialize(Raw);
+  // Every variable left in the materialized endpoint must be bound by one
+  // of its own lets or be the genuinely free "u".
+  LetAndVarCollector C;
+  Done.Min.accept(&C);
+  for (const auto &[Name, Uses] : C.VarUses)
+    EXPECT_TRUE(Name == "u" || C.LetDefs.count(Name))
+        << "unbound name " << Name << " escaped materialize()";
 }
 
 TEST(MonotonicTest, Classification) {

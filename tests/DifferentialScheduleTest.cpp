@@ -13,9 +13,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "autotune/ScheduleSpace.h"
+#include "lang/Pipeline.h"
 #include "support/DiffTest.h"
 
 #include <gtest/gtest.h>
+
+#include <ctime>
 
 using namespace halide;
 
@@ -98,6 +101,69 @@ TEST(DifferentialScheduleTest, Interpolate) {
 
 TEST(DifferentialScheduleTest, LocalLaplacian) {
   expectDifferentialOk(paperApps(TestLLLevels)[4]);
+}
+
+TEST(DifferentialScheduleTest, LocalLaplacianPaperDepthGpuSim) {
+  // The paper's 8-level local Laplacian under its simulated-GPU schedule:
+  // the deepest pipeline in the repo, and the one whose bounds expressions
+  // grew exponentially before bounds inference shared subexpressions —
+  // bench_runner used to skip this row because it could not be lowered.
+  // Lowering must now complete in interactive time, and the schedule must
+  // agree with the breadth-first reference on both remaining engines (the
+  // bytecode VM and CodeGenC). The tree-walking interpreter sits this one
+  // out: the 8x8 per-stage round-up compounds geometrically down the
+  // pyramid, so the schedule does hundreds of millions of stores at any
+  // frame size — minutes on the tree walker. The interpreter's audit of
+  // this app stays with the depth-3 sweep above (InterpreterSpotChecks
+  // keeps its prefix there).
+  const int W = 96, H = 64; // multiples of the 8-pixel gpu tile
+  App A = makeLocalLaplacianApp(/*Levels=*/8);
+  ParamBindings Inputs = A.MakeInputs(W, H);
+  Pipeline Pipe(A.Output);
+
+  // Reference: breadth-first through the suite's default engine.
+  A.ScheduleBreadthFirst();
+  std::shared_ptr<void> KeepRef;
+  RawBuffer Ref = makeAppOutput(A, W, H, &KeepRef);
+  {
+    LoweredPipeline P = Pipe.lowerPipeline();
+    ParamBindings PB = Inputs;
+    PB.bind(A.Output.name(), Ref);
+    ASSERT_EQ(runOnBackend(Target::vm(), P, PB), 0);
+  }
+
+  // The acceptance bar from ISSUE 4 is "lowers in < 5 s"; shared-bounds
+  // lowering measures ~2 s. Assert on process CPU time with regime-scale
+  // margin rather than wall time, which under the parallel ctest jobs
+  // measures machine load, not the compiler: the exponential trajectory
+  // this guards against took over half an hour.
+  A.ScheduleGpu();
+  std::clock_t Start = std::clock();
+  LoweredPipeline P = Pipe.lowerPipeline();
+  double LowerCpuMs = 1000.0 * double(std::clock() - Start) / CLOCKS_PER_SEC;
+  EXPECT_LT(LowerCpuMs, 20000.0)
+      << "8-level gpu-sim lowering regressed far past the 5 s acceptance bar";
+
+  std::shared_ptr<void> KeepVm;
+  RawBuffer OutVm = makeAppOutput(A, W, H, &KeepVm);
+  {
+    ParamBindings PB = Inputs;
+    PB.bind(A.Output.name(), OutVm);
+    ASSERT_EQ(runOnBackend(Target::vm(), P, PB), 0);
+  }
+  std::string Detail;
+  EXPECT_TRUE(buffersMatch(Ref, OutVm, 1e-5, 0, &Detail))
+      << "vm vs reference: " << Detail;
+
+  std::shared_ptr<void> KeepC;
+  RawBuffer OutC = makeAppOutput(A, W, H, &KeepC);
+  {
+    ParamBindings PB = Inputs;
+    PB.bind(A.Output.name(), OutC);
+    ASSERT_EQ(runOnBackend(Target::jit().withJitFlags("-O0"), P, PB), 0);
+  }
+  EXPECT_TRUE(buffersMatch(Ref, OutC, 1e-5, 0, &Detail))
+      << "codegen_c vs reference: " << Detail;
 }
 
 TEST(DifferentialScheduleTest, HistogramEqualize) {
