@@ -6,13 +6,22 @@
 // optimization PRs benchmark themselves against (BENCH_seed.json at the
 // repo root holds the seed trajectory).
 //
-// Usage: bench_runner [--backend interp|vm|jit|gpu] [--json <path>]
-//                     [--width W] [--height H] [--iters N]
+// --threads=N sets both the task scheduler's pool size and the Target's
+// thread request, and is recorded in every row. A built-in threads sweep
+// additionally times the parallel (tuned) schedules of blur and
+// local_laplacian on the bytecode VM serially and at 4 threads, so the
+// parallel-runtime speedup is part of the tracked trajectory
+// (--no-thread-sweep skips it).
+//
+// Usage: bench_runner [--backend interp|vm|jit|gpu] [--threads N]
+//                     [--json <path>] [--width W] [--height H]
+//                     [--iters N] [--no-thread-sweep]
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
 #include "metrics/ScheduleMetrics.h"
+#include "runtime/TaskScheduler.h"
 #include "support/DiffTest.h"
 
 #include <cstdio>
@@ -29,6 +38,7 @@ struct BenchRow {
   std::string App;
   std::string Schedule;
   std::string BackendName;
+  int Threads = 1;
   int Width = 0, Height = 0;
   double Ms = 0;
   double NsPerPixel = 0;
@@ -50,14 +60,38 @@ void runOne(App &A, const char *ScheduleName,
   Row.App = A.Name;
   Row.Schedule = ScheduleName;
   Row.BackendName = backendName(T.TargetBackend);
+  // The interpreter never dispatches through the task scheduler; its rows
+  // are strictly single-threaded whatever the pool size.
+  Row.Threads = T.TargetBackend == Backend::Interpreter ? 1
+                : T.NumThreads > 0 ? T.NumThreads
+                                   : taskSchedulerThreads();
   Row.Width = W;
   Row.Height = H;
   Row.Ms = Ms;
   Row.NsPerPixel = Ms * 1e6 / (double(W) * H);
   Rows->push_back(Row);
-  std::printf("%-16s %-14s %-11s %4dx%-4d %9.3f ms  %8.3f ns/px\n",
-              A.Name.c_str(), ScheduleName, Row.BackendName.c_str(), W, H,
-              Ms, Row.NsPerPixel);
+  std::printf("%-16s %-14s %-11s t%-2d %4dx%-4d %9.3f ms  %8.3f ns/px\n",
+              A.Name.c_str(), ScheduleName, Row.BackendName.c_str(),
+              Row.Threads, W, H, Ms, Row.NsPerPixel);
+}
+
+/// The threads sweep: the two apps whose tuned schedules carry the
+/// paper's parallel strategies, timed on the VM serially and at 4
+/// threads. The scheduler pool is resized around each row so the thread
+/// request measures real workers, then restored.
+void runThreadsSweep(std::vector<App> &Apps, int W, int H, int Iters,
+                     std::vector<BenchRow> *Rows) {
+  const int Before = taskSchedulerThreads();
+  for (App &A : Apps) {
+    if (A.Name != "blur" && A.Name != "local_laplacian")
+      continue;
+    for (int N : {1, 4}) {
+      setTaskSchedulerThreads(N);
+      runOne(A, "tuned", A.ScheduleTuned, Target::vm().withThreads(N), W,
+             H, Iters, Rows);
+    }
+  }
+  setTaskSchedulerThreads(Before);
 }
 
 } // namespace
@@ -65,7 +99,8 @@ void runOne(App &A, const char *ScheduleName,
 int main(int Argc, char **Argv) {
   std::string JsonPath;
   Target T = Target::jit();
-  int W = 512, H = 384, Iters = 5;
+  int W = 512, H = 384, Iters = 5, Threads = 0;
+  bool ThreadSweep = true;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     std::string BackendText;
@@ -81,7 +116,11 @@ int main(int Argc, char **Argv) {
                      BackendText.c_str());
         return 2;
       }
-    } else if (Arg == "--json" && I + 1 < Argc)
+    } else if (Arg.rfind("--threads=", 0) == 0)
+      Threads = std::atoi(Arg.c_str() + std::strlen("--threads="));
+    else if (Arg == "--threads" && I + 1 < Argc)
+      Threads = std::atoi(Argv[++I]);
+    else if (Arg == "--json" && I + 1 < Argc)
       JsonPath = Argv[++I];
     else if (Arg == "--width" && I + 1 < Argc)
       W = std::atoi(Argv[++I]);
@@ -89,13 +128,21 @@ int main(int Argc, char **Argv) {
       H = std::atoi(Argv[++I]);
     else if (Arg == "--iters" && I + 1 < Argc)
       Iters = std::atoi(Argv[++I]);
+    else if (Arg == "--no-thread-sweep")
+      ThreadSweep = false;
     else {
       std::fprintf(stderr,
-                   "usage: %s [--backend interp|vm|jit|gpu] [--json <path>] "
-                   "[--width W] [--height H] [--iters N]\n",
+                   "usage: %s [--backend interp|vm|jit|gpu] [--threads N] "
+                   "[--json <path>] [--width W] [--height H] [--iters N] "
+                   "[--no-thread-sweep]\n",
                    Argv[0]);
       return 2;
     }
+  }
+
+  if (Threads > 0) {
+    setTaskSchedulerThreads(Threads);
+    T = T.withThreads(Threads);
   }
 
   std::vector<BenchRow> Rows;
@@ -107,6 +154,8 @@ int main(int Argc, char **Argv) {
     runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
     runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
   }
+  if (ThreadSweep)
+    runThreadsSweep(Apps, W, H, Iters, &Rows);
 
   if (!JsonPath.empty()) {
     std::ofstream Json(JsonPath);
@@ -121,7 +170,7 @@ int main(int Argc, char **Argv) {
       const BenchRow &R = Rows[I];
       Json << "    {\"app\": \"" << R.App << "\", \"schedule\": \""
            << R.Schedule << "\", \"backend\": \"" << R.BackendName
-           << "\", \"ms\": " << R.Ms
+           << "\", \"threads\": " << R.Threads << ", \"ms\": " << R.Ms
            << ", \"ns_per_pixel\": " << R.NsPerPixel << "}"
            << (I + 1 < Rows.size() ? "," : "") << "\n";
     }

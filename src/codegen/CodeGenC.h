@@ -12,7 +12,7 @@
 /// dense stride-1 ramp loads/stores become contiguous memcpys, strided and
 /// gathered accesses are classified exactly as in paper section 4.5.
 /// Parallel loops compile to closure structs plus a body function handed to
-/// the runtime's task-queue thread pool (section 4.6); GPU block loops
+/// the runtime's work-stealing task scheduler (section 4.6); GPU block loops
 /// compile to simulated-device kernel launches.
 ///
 /// The generated entry point is:

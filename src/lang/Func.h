@@ -120,7 +120,7 @@ public:
   Func &reorder(const Var &First, const Var &Second, const VarTs &...Rest) {
     return reorder(std::vector<Var>{First, Second, Rest...});
   }
-  /// Marks a dimension for parallel execution on the thread pool.
+  /// Marks a dimension for parallel execution on the task scheduler.
   Func &parallel(const Var &V);
   /// Marks a (constant-extent) dimension as a SIMD vector dimension.
   Func &vectorize(const Var &V);

@@ -81,8 +81,14 @@ const LoweredPipeline &Pipeline::cachedLowered(const std::string &LowerKey,
 std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
   CompileCache &C = cache();
   std::string LowerKey = scheduleFingerprint(T);
-  std::string ExecKey =
-      LowerKey + "##" + backendName(T.TargetBackend) + "#" + T.JitFlags;
+  // The thread request belongs in the executable key only: it never
+  // changes lowering, so every thread count shares one lowered pipeline,
+  // but the executable carries its Target (the VM's dispatch consults
+  // NumThreads at run time), so targets differing in threads must not
+  // alias one cached artifact.
+  std::string ExecKey = LowerKey + "##" + backendName(T.TargetBackend) +
+                        "#" + T.JitFlags + "#t" +
+                        std::to_string(T.NumThreads);
 
   auto EIt = C.Executables.find(ExecKey);
   if (EIt != C.Executables.end()) {

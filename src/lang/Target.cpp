@@ -4,6 +4,7 @@
 
 #include "support/Util.h"
 
+#include <cstdlib>
 #include <vector>
 
 using namespace halide;
@@ -33,6 +34,7 @@ std::string Target::lowerOptionsFingerprint() const {
 
 std::string Target::str() const {
   return backendName(TargetBackend) + lowerOptionsFingerprint() +
+         (NumThreads > 0 ? "-threads" + std::to_string(NumThreads) : "") +
          (JitFlags.empty() ? "" : " [" + JitFlags + "]");
 }
 
@@ -57,7 +59,12 @@ bool Target::parse(const std::string &Text, Target *Out) {
       T.DisableSlidingWindow = true;
     else if (Parts[I] == "no_storage_folding")
       T.DisableStorageFolding = true;
-    else
+    else if (startsWith(Parts[I], "threads")) {
+      int N = std::atoi(Parts[I].c_str() + 7);
+      if (N <= 0)
+        return false;
+      T.NumThreads = N;
+    } else
       return false;
   }
   *Out = T;

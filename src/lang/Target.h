@@ -56,6 +56,15 @@ struct Target {
   /// backends only), e.g. "-O0" for compile-time-sensitive sweeps.
   std::string JitFlags;
 
+  /// Worker-thread request for parallel loops: 0 inherits the task
+  /// scheduler's pool size (runtime/TaskScheduler.h — HALIDE_NUM_THREADS
+  /// or the hardware concurrency), 1 forces serial execution, N > 1 runs
+  /// parallel loops threaded with chunking sized for N workers. Does not
+  /// affect lowering — it is folded into the executable cache key only,
+  /// never into the lowering fingerprint, so every thread count shares one
+  /// lowered pipeline per schedule.
+  int NumThreads = 0;
+
   Target() = default;
   explicit Target(Backend B) : TargetBackend(B) {}
 
@@ -78,6 +87,11 @@ struct Target {
   Target withoutStorageFolding() const {
     Target T = *this;
     T.DisableStorageFolding = true;
+    return T;
+  }
+  Target withThreads(int Threads) const {
+    Target T = *this;
+    T.NumThreads = Threads;
     return T;
   }
 
@@ -104,7 +118,8 @@ struct Target {
 
   /// Parses the bench_runner --backend flag form: "interp"/"interpreter",
   /// "vm"/"vm_bytecode", "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
-  /// "-no_sliding_window"/"-no_storage_folding" features. JitFlags have no
+  /// "-no_sliding_window"/"-no_storage_folding" features and a
+  /// "-threads<N>" thread request. JitFlags have no
   /// textual form here — str()'s " [flags]" suffix is display-only.
   /// Returns false (and leaves \p Out alone) on an unknown name.
   static bool parse(const std::string &Text, Target *Out);
@@ -113,7 +128,7 @@ struct Target {
     return TargetBackend == Other.TargetBackend &&
            DisableSlidingWindow == Other.DisableSlidingWindow &&
            DisableStorageFolding == Other.DisableStorageFolding &&
-           JitFlags == Other.JitFlags;
+           JitFlags == Other.JitFlags && NumThreads == Other.NumThreads;
   }
   bool operator!=(const Target &Other) const { return !(*this == Other); }
 };

@@ -1,7 +1,7 @@
 //===-- runtime/GpuSim.cpp -------------------------------------------------------=//
 
 #include "runtime/GpuSim.h"
-#include "runtime/ThreadPool.h"
+#include "runtime/TaskScheduler.h"
 
 using namespace halide;
 
@@ -9,9 +9,9 @@ void GpuSim::launch(int32_t Blocks, void (*Body)(int32_t, void *),
                     void *Closure) {
   ++Stats.KernelLaunches;
   Stats.BlocksExecuted += Blocks;
-  // Blocks are data parallel; run them on the host pool, which stands in
-  // for the SM array. (With one hardware core this degrades gracefully to
-  // a serial sweep, preserving semantics.)
+  // Blocks are data parallel; run them on the host task scheduler, which
+  // stands in for the SM array. (With one hardware core this degrades
+  // gracefully to a serial sweep, preserving semantics.)
   parallelFor(0, Blocks, Body, Closure);
 }
 

@@ -2,7 +2,7 @@
 
 #include "runtime/Runtime.h"
 #include "runtime/GpuSim.h"
-#include "runtime/ThreadPool.h"
+#include "runtime/TaskScheduler.h"
 
 #include <cstdio>
 #include <cstdlib>

@@ -76,7 +76,7 @@ struct RuntimeVTable {
   void *(*Malloc)(int64_t Bytes);
   void (*Free)(void *Ptr);
   /// Closure-based parallel for: runs Body(I, Closure) for I in
-  /// [Min, Min+Extent) on the task-queue thread pool (paper section 4.6).
+  /// [Min, Min+Extent) on the work-stealing task scheduler (paper §4.6).
   void (*ParFor)(int32_t Min, int32_t Extent,
                  void (*Body)(int32_t, void *), void *Closure);
   /// Simulated-GPU kernel launch over a flattened block range; semantics

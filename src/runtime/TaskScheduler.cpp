@@ -1,0 +1,322 @@
+//===-- runtime/TaskScheduler.cpp -----------------------------------------===//
+
+#include "runtime/TaskScheduler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+/// One parallel loop in flight. Lives on the submitter's stack: every
+/// chunk completes before parallelForChunks returns, so raw pointers to
+/// it in queued work items cannot dangle.
+struct Job {
+  TaskChunkFn Body = nullptr;
+  void *Closure = nullptr;
+  std::atomic<int> PendingChunks{0};
+};
+
+/// A chunk of some job, sitting in a deque until a thread runs it.
+struct WorkItem {
+  Job *TheJob = nullptr;
+  int64_t Begin = 0, End = 0;
+  int Chunk = 0;
+};
+
+/// A per-worker double-ended queue. The owner pushes and pops at the
+/// bottom (LIFO — nested loops drain depth-first, like the serial
+/// execution order); thieves take from the top (FIFO — they grab the
+/// oldest, typically largest-remaining work). A plain mutex per deque is
+/// uncontended in the common case and keeps the structure obviously
+/// correct under TSan; the loop chunks pipelines generate are far too
+/// coarse for lock-free pop latency to matter.
+class WorkDeque {
+public:
+  void pushBottom(const WorkItem &W) {
+    std::lock_guard<std::mutex> Lock(M);
+    Items.push_back(W);
+  }
+  bool popBottom(WorkItem *W) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Items.empty())
+      return false;
+    *W = Items.back();
+    Items.pop_back();
+    return true;
+  }
+  bool stealTop(WorkItem *W) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Items.empty())
+      return false;
+    *W = Items.front();
+    Items.pop_front();
+    return true;
+  }
+
+private:
+  std::mutex M;
+  std::deque<WorkItem> Items;
+};
+
+class Scheduler {
+public:
+  static Scheduler &instance() {
+    static Scheduler S;
+    return S;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    return TotalThreads;
+  }
+
+  int run(int64_t Min, int64_t Extent, int MaxTasks, TaskChunkFn Body,
+          void *Closure);
+  void resize(int Threads);
+
+  static thread_local int SlotIndex; ///< deque index; -1 = external thread
+
+private:
+  Scheduler() { start(0); }
+  ~Scheduler() { stopWorkers(); }
+
+  void start(int Threads) {
+    if (Threads <= 0) {
+      if (const char *Env = std::getenv("HALIDE_NUM_THREADS"))
+        Threads = std::atoi(Env);
+      if (Threads <= 0)
+        Threads = int(std::thread::hardware_concurrency());
+    }
+    if (Threads < 1)
+      Threads = 1;
+    TotalThreads = Threads;
+    // Deques: one per spawned worker, plus one shared by all external
+    // (non-worker) submitters.
+    Deques.clear();
+    for (int I = 0; I < Threads; ++I)
+      Deques.push_back(std::make_unique<WorkDeque>());
+    Stop = false;
+    for (int I = 0; I < Threads - 1; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  /// Joins every worker. Caller must guarantee no job is in flight.
+  void stopWorkers() {
+    {
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      Stop = true;
+      WorkCV.notify_all();
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    Workers.clear();
+  }
+
+  void workerLoop(int Index) {
+    SlotIndex = Index;
+    WorkItem W;
+    while (true) {
+      if (Deques[size_t(Index)]->popBottom(&W) || stealAny(Index, &W)) {
+        execute(W);
+        continue;
+      }
+      std::unique_lock<std::mutex> Lock(StateMutex);
+      WorkCV.wait(Lock,
+                  [&] { return Stop || QueuedItems.load() > 0; });
+      if (Stop)
+        return;
+    }
+  }
+
+  /// Scans every deque once, starting after \p Home's (external threads
+  /// share the last deque). The scan includes Home's own deque last: its
+  /// bottom was already tried, but another thread may have pushed since.
+  bool stealAny(int Home, WorkItem *W) {
+    const int N = int(Deques.size());
+    const int Start = Home >= 0 ? Home : N - 1;
+    for (int Off = 1; Off <= N; ++Off) {
+      if (Deques[size_t((Start + Off) % N)]->stealTop(W))
+        return true;
+    }
+    return false;
+  }
+
+  void execute(const WorkItem &W) {
+    QueuedItems.fetch_sub(1);
+    const bool WasInTask = InTask;
+    InTask = true;
+    W.TheJob->Body(W.Begin, W.End, W.Chunk, W.TheJob->Closure);
+    InTask = WasInTask;
+    if (W.TheJob->PendingChunks.fetch_sub(1) == 1) {
+      // Last chunk: wake the submitter (and anyone else re-checking).
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      WorkCV.notify_all();
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkDeque>> Deques; ///< workers + external
+  std::vector<std::thread> Workers;
+  std::mutex StateMutex;
+  std::condition_variable WorkCV;   ///< work queued or a job completed
+  std::condition_variable ConfigCV; ///< resize gate handshake
+  std::atomic<int> QueuedItems{0};  ///< items sitting in deques
+  int ActiveJobs = 0;               ///< top-level loops in flight
+  int TotalThreads = 1;
+  bool Stop = false;
+  bool Reconfiguring = false;
+
+  static thread_local bool InTask;
+
+  friend bool halide::inTaskWorker();
+};
+
+thread_local int Scheduler::SlotIndex = -1;
+thread_local bool Scheduler::InTask = false;
+
+int Scheduler::run(int64_t Min, int64_t Extent, int MaxTasks,
+                   TaskChunkFn Body, void *Closure) {
+  if (Extent <= 0)
+    return 0;
+
+  const bool TopLevel = SlotIndex < 0 && !InTask;
+  int PoolThreads;
+  if (TopLevel) {
+    // Gate: hold new top-level loops while the pool is being rebuilt, and
+    // count them so resize() can wait for quiescence. Nested submissions
+    // skip the gate — they are already covered by their root loop's count
+    // (and taking it could deadlock against a waiting resize).
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    ConfigCV.wait(Lock, [&] { return !Reconfiguring; });
+    ++ActiveJobs;
+    PoolThreads = TotalThreads;
+  } else {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    PoolThreads = TotalThreads;
+  }
+
+  if (MaxTasks <= 0)
+    MaxTasks = PoolThreads * 4;
+  const int NumChunks = int(Extent < MaxTasks ? Extent : MaxTasks);
+
+  if (NumChunks == 1 || PoolThreads == 1) {
+    // Inline execution still honors the partition — callers size
+    // per-chunk result slots from it, so every chunk index must fire.
+    const bool WasInTask = InTask;
+    InTask = true;
+    for (int C = 0; C < NumChunks; ++C)
+      Body(Min + Extent * C / NumChunks, Min + Extent * (C + 1) / NumChunks,
+           C, Closure);
+    InTask = WasInTask;
+  } else {
+    Job TheJob;
+    TheJob.Body = Body;
+    TheJob.Closure = Closure;
+    TheJob.PendingChunks.store(NumChunks);
+
+    WorkDeque &Mine =
+        SlotIndex >= 0 ? *Deques[size_t(SlotIndex)] : *Deques.back();
+    // Deterministic balanced partition: chunk C covers
+    // [Extent*C/NumChunks, Extent*(C+1)/NumChunks); no chunk is empty
+    // because NumChunks <= Extent.
+    for (int C = 0; C < NumChunks; ++C) {
+      WorkItem W;
+      W.TheJob = &TheJob;
+      W.Begin = Min + Extent * C / NumChunks;
+      W.End = Min + Extent * (C + 1) / NumChunks;
+      W.Chunk = C;
+      Mine.pushBottom(W);
+    }
+    QueuedItems.fetch_add(NumChunks);
+    {
+      std::lock_guard<std::mutex> Lock(StateMutex);
+      WorkCV.notify_all();
+    }
+
+    // Participate: drain our own deque first (depth-first — in the nested
+    // case that is this loop's chunks before the enclosing loop's), then
+    // steal anything from anyone rather than going idle while the last
+    // chunks run elsewhere.
+    const int Home = SlotIndex;
+    WorkItem W;
+    while (TheJob.PendingChunks.load() > 0) {
+      if ((Home >= 0 ? Deques[size_t(Home)]->popBottom(&W)
+                     : Deques.back()->popBottom(&W)) ||
+          stealAny(Home, &W)) {
+        execute(W);
+        continue;
+      }
+      std::unique_lock<std::mutex> Lock(StateMutex);
+      WorkCV.wait(Lock, [&] {
+        return QueuedItems.load() > 0 || TheJob.PendingChunks.load() == 0;
+      });
+    }
+  }
+
+  if (TopLevel) {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (--ActiveJobs == 0)
+      ConfigCV.notify_all();
+  }
+  return NumChunks;
+}
+
+void Scheduler::resize(int Threads) {
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  // One resize at a time; wait out any loop that is already running (new
+  // top-level loops queue behind the Reconfiguring gate).
+  ConfigCV.wait(Lock, [&] { return !Reconfiguring; });
+  Reconfiguring = true;
+  ConfigCV.wait(Lock, [&] { return ActiveJobs == 0; });
+  Lock.unlock();
+  stopWorkers();
+  Lock.lock();
+  start(Threads);
+  Reconfiguring = false;
+  ConfigCV.notify_all();
+}
+
+} // namespace
+
+int halide::parallelForChunks(int64_t Min, int64_t Extent, int MaxTasks,
+                              TaskChunkFn Body, void *Closure) {
+  return Scheduler::instance().run(Min, Extent, MaxTasks, Body, Closure);
+}
+
+namespace {
+
+struct ForClosure {
+  void (*Body)(int32_t, void *);
+  void *Closure;
+};
+
+void runForChunk(int64_t Begin, int64_t End, int, void *Closure) {
+  const ForClosure *F = static_cast<const ForClosure *>(Closure);
+  for (int64_t I = Begin; I < End; ++I)
+    F->Body(int32_t(I), F->Closure);
+}
+
+} // namespace
+
+void halide::parallelFor(int32_t Min, int32_t Extent,
+                         void (*Body)(int32_t, void *), void *Closure) {
+  ForClosure F{Body, Closure};
+  parallelForChunks(Min, Extent, /*MaxTasks=*/0, runForChunk, &F);
+}
+
+int halide::taskSchedulerThreads() { return Scheduler::instance().threads(); }
+
+void halide::setTaskSchedulerThreads(int Threads) {
+  Scheduler::instance().resize(Threads);
+}
+
+bool halide::inTaskWorker() {
+  return Scheduler::SlotIndex >= 0 || Scheduler::InTask;
+}

@@ -1,0 +1,75 @@
+//===-- runtime/TaskScheduler.h - Work-stealing task runtime ----*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared parallel task runtime of paper section 4.6, used by every
+/// backend: parallel loops are lowered to a closure plus a body function,
+/// and the loop's iteration range is split into chunks scheduled over a
+/// work-stealing pool with per-worker deques. A thread that submits a loop
+/// participates in it, and a worker whose own loop is blocked on chunks
+/// stolen by others steals work itself instead of idling or inlining — so
+/// nested parallel loops (the paper's tile-over-scanline schedules) really
+/// run in parallel rather than serializing on the submitting worker.
+///
+/// The pool size counts the submitting thread: size N means N-1 spawned
+/// workers plus the caller. The default is the HALIDE_NUM_THREADS
+/// environment variable when set, otherwise the hardware concurrency.
+/// Reconfiguration is locked against in-flight loops, and all workers are
+/// joined on reconfiguration and at process exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_RUNTIME_TASKSCHEDULER_H
+#define HALIDE_RUNTIME_TASKSCHEDULER_H
+
+#include <cstdint>
+
+namespace halide {
+
+/// A chunk of a parallel loop: runs iterations [Begin, End). \p Chunk is
+/// the chunk's index in the loop's deterministic partition (dense, in
+/// range order), so callers can deposit per-chunk results without locks
+/// and merge them in a fixed order afterwards.
+using TaskChunkFn = void (*)(int64_t Begin, int64_t End, int Chunk,
+                             void *Closure);
+
+/// Runs \p Body over [Min, Min+Extent) as up to \p MaxTasks chunks on the
+/// scheduler (MaxTasks <= 0 picks a default of a few chunks per worker).
+/// Returns the number of chunks dispatched (0 when Extent <= 0) — the
+/// partition is deterministic and balanced (chunk C covers
+/// [Extent*C/N, Extent*(C+1)/N)), so chunk indices identify stable
+/// subranges. Blocks until
+/// every chunk has finished; the calling thread executes chunks itself
+/// and steals unrelated work while waiting on stragglers. Safe to call
+/// from within a chunk (nested parallelism).
+int parallelForChunks(int64_t Min, int64_t Extent, int MaxTasks,
+                      TaskChunkFn Body, void *Closure);
+
+/// Runs Body(I, Closure) for every I in [Min, Min+Extent), distributing
+/// iterations over the pool. This is the entry point compiled pipelines
+/// call through the runtime vtable (CodeGenC/JIT closures); it rides on
+/// parallelForChunks with the default chunking.
+void parallelFor(int32_t Min, int32_t Extent,
+                 void (*Body)(int32_t, void *), void *Closure);
+
+/// The scheduler's thread count, including the submitting thread.
+int taskSchedulerThreads();
+
+/// Overrides the pool size (0 restores the default). Blocks until every
+/// in-flight parallel loop has drained, then joins and restarts the
+/// workers — concurrent parallelFor calls are held at the gate while the
+/// pool is rebuilt, so reconfiguration cannot race execution. Must not be
+/// called from inside a parallel task.
+void setTaskSchedulerThreads(int Threads);
+
+/// True when the calling thread is a scheduler worker or is currently
+/// executing a task chunk (used to decide top-level vs nested submission;
+/// exposed for tests).
+bool inTaskWorker();
+
+} // namespace halide
+
+#endif // HALIDE_RUNTIME_TASKSCHEDULER_H

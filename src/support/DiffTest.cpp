@@ -30,11 +30,36 @@ Target diffExecTarget(const DiffOptions &Opts) {
   return Opts.ExecTarget;
 }
 
+/// Threaded-leg thread count: HALIDE_DIFF_THREADS wins over the option so
+/// CI can force (or disable) the serial-vs-parallel check per job.
+int diffThreadedVmThreads(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_THREADS");
+  if (Env && *Env)
+    return std::atoi(Env);
+  return Opts.ThreadedVmThreads;
+}
+
+/// Renders the stats fields the determinism contract covers, for
+/// mismatch diagnostics.
+std::string statsSummary(const ExecutionStats &S) {
+  std::ostringstream OS;
+  OS << "stores=" << S.totalStores() << " peak=" << S.PeakAllocationBytes
+     << " span=" << S.ParallelIterations << " loads={";
+  bool First = true;
+  for (const auto &[Name, Count] : S.LoadsPerBuffer) {
+    OS << (First ? "" : ",") << Name << ":" << Count;
+    First = false;
+  }
+  OS << "}";
+  return OS.str();
+}
+
 } // namespace
 
 int halide::runOnBackend(const Target &T, const LoweredPipeline &P,
-                         const ParamBindings &Params) {
-  return makeExecutable(P, T)->run(Params);
+                         const ParamBindings &Params,
+                         ExecutionStats *Stats) {
+  return makeExecutable(P, T)->run(Params, Stats);
 }
 
 RawBuffer halide::makeAppOutput(const App &A, int W, int H,
@@ -245,6 +270,16 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
                               Detail});
   }
 
+  // The serial-vs-parallel determinism leg: when the execution backend is
+  // the bytecode VM, every schedule's primary run is pinned to one thread
+  // and re-executed with a thread request; outputs must match bit for bit
+  // and the merged ExecutionStats must be identical.
+  const int DiffThreads = Exec.TargetBackend == Backend::VmBytecode
+                              ? diffThreadedVmThreads(Opts)
+                              : 0;
+  const Target ExecSerial =
+      DiffThreads > 1 ? Exec.withThreads(1) : Exec;
+
   int ScheduleIndex = 0;
   for (const Genome &G : Space.deterministicSample(Opts.ScheduleCount,
                                                    Opts.Seed)) {
@@ -252,6 +287,7 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
     Space.apply(G);
     LoweredPipeline P = Pipe.lowerPipeline();
 
+    ExecutionStats SerialStats;
     std::shared_ptr<void> KeepExec;
     RawBuffer OutExec = makeAppOutput(A, W, H, &KeepExec);
     {
@@ -259,13 +295,41 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       PB.bind(A.Output.name(), OutExec);
       // The VM and the interpreter abort via user_error; a JIT exec
       // target reports failed pipeline asserts through the exit code.
-      int Rc = runOnBackend(Exec, P, PB);
+      int Rc = runOnBackend(ExecSerial, P, PB, &SerialStats);
       std::string Detail;
       if (Rc != 0)
         R.Mismatches.push_back({Desc, ExecName + " exit code",
                                 "pipeline returned " + std::to_string(Rc)});
       else if (!buffersMatch(Ref, OutExec, Opts.FloatTolerance, 0, &Detail))
         R.Mismatches.push_back({Desc, ExecName + " vs reference", Detail});
+    }
+
+    if (DiffThreads > 1) {
+      std::shared_ptr<void> KeepThr;
+      RawBuffer OutThr = makeAppOutput(A, W, H, &KeepThr);
+      ParamBindings PB = Inputs;
+      PB.bind(A.Output.name(), OutThr);
+      ExecutionStats ThrStats;
+      int Rc =
+          runOnBackend(Exec.withThreads(DiffThreads), P, PB, &ThrStats);
+      std::string Detail;
+      if (Rc != 0)
+        R.Mismatches.push_back(
+            {Desc, "threaded " + ExecName + " exit code",
+             "pipeline returned " + std::to_string(Rc)});
+      else if (!buffersMatch(OutExec, OutThr, 0.0, 0, &Detail))
+        R.Mismatches.push_back(
+            {Desc, "threaded vs serial " + ExecName, Detail});
+      else if (ThrStats.StoresPerBuffer != SerialStats.StoresPerBuffer ||
+               ThrStats.LoadsPerBuffer != SerialStats.LoadsPerBuffer ||
+               ThrStats.PeakAllocationBytes !=
+                   SerialStats.PeakAllocationBytes ||
+               ThrStats.ParallelIterations !=
+                   SerialStats.ParallelIterations)
+        R.Mismatches.push_back(
+            {Desc, "threaded vs serial " + ExecName + " stats",
+             "serial {" + statsSummary(SerialStats) + "} threaded {" +
+                 statsSummary(ThrStats) + "}"});
     }
 
     // The tree-walking interpreter audits a prefix of the sample: it

@@ -15,7 +15,11 @@
 /// suite's default backend — fast enough to keep the sweep wide), the
 /// CodeGenC -> host-compiler -> dlopen path independently re-executes
 /// every schedule, and the tree-walking interpreter spot-checks a prefix
-/// of the sample bit-for-bit as the semantic reference.
+/// of the sample bit-for-bit as the semantic reference. On top of that,
+/// every sampled schedule is checked serial-vs-parallel: the threaded VM
+/// must reproduce the serial VM's output bit-for-bit with identical
+/// merged ExecutionStats (DiffOptions::ThreadedVmThreads /
+/// HALIDE_DIFF_THREADS).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,8 +40,10 @@ namespace halide {
 /// aborts via user_error on internal pipeline assertions; the JIT backends
 /// report them through the exit code. Compiles fresh on every call — the
 /// schedule sweep wants per-schedule artifacts, not the process cache.
+/// \p Stats, when non-null, receives the backend's execution counters.
 int runOnBackend(const Target &T, const LoweredPipeline &P,
-                 const ParamBindings &Params);
+                 const ParamBindings &Params,
+                 ExecutionStats *Stats = nullptr);
 
 /// Options controlling a differential run.
 struct DiffOptions {
@@ -75,6 +81,15 @@ struct DiffOptions {
   /// 10-40x slowdown on every schedule. 0 disables; ignored when
   /// ExecTarget is already the interpreter.
   int InterpreterSpotChecks = 1;
+  /// The threaded-VM leg: when the execution backend is the bytecode VM,
+  /// every sampled schedule is re-executed with this many threads
+  /// requested and must reproduce the serial output bit-for-bit with
+  /// identical merged ExecutionStats — the serial-vs-parallel
+  /// determinism check. <= 1 disables. The HALIDE_DIFF_THREADS
+  /// environment variable overrides it process-wide (0 to disable); the
+  /// effective worker count is still bounded by the task scheduler's
+  /// pool size (HALIDE_NUM_THREADS / hardware concurrency).
+  int ThreadedVmThreads = 4;
   /// Also push every schedule through the C backend (compile + dlopen).
   bool RunCodeGenC = true;
   /// Host-compiler flags for the C backend. -O0 because this harness

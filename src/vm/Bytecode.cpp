@@ -55,6 +55,8 @@ const char *halide::vmOpName(VmOp Op) {
   case VmOp::Jump: return "jump";
   case VmOp::JumpIfFalse: return "jump_if_false";
   case VmOp::LoopNext: return "loop_next";
+  case VmOp::ParFor: return "par_for";
+  case VmOp::TaskRet: return "task_ret";
   case VmOp::AssertCond: return "assert";
   case VmOp::CallExtern: return "call";
   case VmOp::CountParallel: return "count_parallel";
@@ -82,7 +84,7 @@ std::string VmProgram::disassemble() const {
   std::ostringstream OS;
   OS << "; " << Code.size() << " instructions, " << InitialRegs.size()
      << " register slots, " << Buffers.size() << " buffers, "
-     << Params.size() << " params\n";
+     << Params.size() << " params, " << Tasks.size() << " parallel tasks\n";
   for (size_t I = 0; I < Buffers.size(); ++I)
     OS << "; buf " << I << ": " << Buffers[I].Name << " ("
        << Buffers[I].ElemType.str()
@@ -132,6 +134,22 @@ std::string VmProgram::disassemble() const {
     case VmOp::CountParallel:
       OS << " r" << In.A;
       break;
+    case VmOp::ParFor: {
+      const VmTaskDesc &T = Tasks[size_t(In.Dst)];
+      OS << " task" << In.Dst << " min=r" << In.A << " extent=r" << In.B
+         << " counter=r" << T.CounterReg << " body=" << T.BodyStart
+         << " live_in={";
+      for (size_t R = 0; R < T.LiveIn.size(); ++R) {
+        if (R)
+          OS << ",";
+        OS << "r" << T.LiveIn[R].first;
+        if (T.LiveIn[R].second > 1)
+          OS << "+" << T.LiveIn[R].second;
+      }
+      OS << "} -> " << In.Aux;
+      break;
+    }
+    case VmOp::TaskRet:
     case VmOp::Halt:
       break;
     case VmOp::Select:

@@ -6,6 +6,7 @@
 #include "ir/Expr.h"
 #include "ir/IROperators.h"
 
+#include <algorithm>
 #include <map>
 
 using namespace halide;
@@ -426,13 +427,22 @@ private:
         << "vm: vector loop bounds";
 
     if (isParallelForType(Op->Kind)) {
-      // Parallel and simulated-GPU loops execute serially (and
-      // deterministically), like the interpreter; the extent feeds the
-      // span statistic.
+      // The extent feeds the span statistic whether or not the loop is
+      // actually threaded.
       VmInstr In;
       In.Op = VmOp::CountParallel;
       In.A = ExtR;
       emit(In);
+    }
+
+    if (Op->Kind == ForType::Parallel) {
+      // Extract the body into a parallel task entry point: the dispatch
+      // loop hands [min, min+extent) to the task scheduler (or runs it
+      // inline for single-threaded targets), with the body's live-in
+      // registers as the explicit closure. Simulated-GPU loop types stay
+      // serial here — they model the device the GpuSim backend runs.
+      compileParallelFor(Op, MinR, ExtR);
+      return;
     }
 
     // counter = min; limit = min + extent (64-bit, so the back-edge
@@ -460,6 +470,141 @@ private:
     Next.Aux = int32_t(BodyStart);
     emit(Next);
     Prog.Code[BrAt].Aux = int32_t(Prog.Code.size());
+  }
+
+  void compileParallelFor(const For *Op, uint32_t MinR, uint32_t ExtR) {
+    uint32_t Counter = allocReg(1);
+    // Reserve the task slot before compiling the body: nested parallel
+    // loops inside it allocate their own slots while this one is open.
+    const size_t TaskIndex = Prog.Tasks.size();
+    Prog.Tasks.emplace_back();
+    VmInstr PF;
+    PF.Op = VmOp::ParFor;
+    PF.Dst = uint32_t(TaskIndex);
+    PF.A = MinR;
+    PF.B = ExtR;
+    size_t PFAt = emit(PF);
+
+    VmTaskDesc Task;
+    Task.CounterReg = Counter;
+    Task.BodyStart = uint32_t(Prog.Code.size());
+    {
+      ScopedBinding<uint32_t> Bind(Vars, Op->Name, Counter);
+      compileStmt(Op->Body);
+    }
+    VmInstr Ret;
+    Ret.Op = VmOp::TaskRet;
+    Task.BodyEnd = uint32_t(emit(Ret));
+    Prog.Code[PFAt].Aux = int32_t(Prog.Code.size());
+
+    // The explicit closure: every register the body region reads (its
+    // own scratch writes-then-reads included — capturing those too is
+    // harmless and keeps the analysis a single pass), minus the counter,
+    // which the dispatcher sets per iteration. Nested task bodies lie
+    // inside this region, so their captures are transitively included:
+    // whatever an inner task copies from its spawner must be present in
+    // the spawner's context to begin with.
+    std::vector<std::pair<uint32_t, uint32_t>> Reads;
+    for (size_t PC = Task.BodyStart; PC <= Task.BodyEnd; ++PC)
+      forEachSourceRange(Prog.Code[PC], &Reads);
+    Task.LiveIn = mergeRanges(std::move(Reads), Counter);
+    Prog.Tasks[TaskIndex] = std::move(Task);
+  }
+
+  /// Appends the (slot, length) register ranges instruction \p In reads.
+  void forEachSourceRange(const VmInstr &In,
+                          std::vector<std::pair<uint32_t, uint32_t>> *Out) {
+    const uint32_t L = In.Lanes;
+    switch (In.Op) {
+    case VmOp::Mov:
+    case VmOp::NotB:
+    case VmOp::CastIntWrap:
+    case VmOp::CastIntToF:
+    case VmOp::CastUIntToF:
+    case VmOp::CastFToInt:
+    case VmOp::CastFToF:
+    case VmOp::Load:
+      Out->push_back({In.A, L});
+      break;
+    case VmOp::Select:
+      Out->push_back({In.A, L});
+      Out->push_back({In.B, L});
+      Out->push_back({In.C, L});
+      break;
+    case VmOp::Ramp:
+      Out->push_back({In.A, 1});
+      Out->push_back({In.B, 1});
+      break;
+    case VmOp::BroadcastSlot:
+      Out->push_back({In.A, 1});
+      break;
+    case VmOp::Store:
+      Out->push_back({In.A, L});
+      Out->push_back({In.B, L});
+      break;
+    case VmOp::Alloc:
+    case VmOp::JumpIfFalse:
+    case VmOp::AssertCond:
+    case VmOp::CountParallel:
+      Out->push_back({In.A, 1});
+      break;
+    case VmOp::LoopNext:
+      Out->push_back({In.A, 1});
+      Out->push_back({In.B, 1});
+      break;
+    case VmOp::ParFor:
+      Out->push_back({In.A, 1});
+      Out->push_back({In.B, 1});
+      break;
+    case VmOp::CallExtern:
+      Out->push_back({In.A, L});
+      if (VmExtern(In.Aux) == VmExtern::Pow)
+        Out->push_back({In.B, L});
+      break;
+    case VmOp::Jump:
+    case VmOp::FreeOp:
+    case VmOp::TaskRet:
+    case VmOp::Halt:
+      break;
+    default:
+      // Every remaining op is a two-operand elementwise arithmetic,
+      // comparison, or boolean instruction.
+      Out->push_back({In.A, L});
+      Out->push_back({In.B, L});
+      break;
+    }
+  }
+
+  /// Sorts, merges, and de-overlaps raw ranges; drops \p Exclude (a
+  /// single slot — the task counter, which is written per iteration).
+  static std::vector<std::pair<uint32_t, uint32_t>>
+  mergeRanges(std::vector<std::pair<uint32_t, uint32_t>> Ranges,
+              uint32_t Exclude) {
+    std::sort(Ranges.begin(), Ranges.end());
+    std::vector<std::pair<uint32_t, uint32_t>> Merged;
+    for (const auto &[Start, Len] : Ranges) {
+      uint32_t End = Start + Len;
+      if (!Merged.empty() && Start <= Merged.back().first + Merged.back().second) {
+        uint32_t &MLen = Merged.back().second;
+        if (End > Merged.back().first + MLen)
+          MLen = End - Merged.back().first;
+      } else {
+        Merged.push_back({Start, Len});
+      }
+    }
+    // Carve the excluded slot out of whichever range contains it.
+    std::vector<std::pair<uint32_t, uint32_t>> Out;
+    for (const auto &[Start, Len] : Merged) {
+      if (Exclude < Start || Exclude >= Start + Len) {
+        Out.push_back({Start, Len});
+        continue;
+      }
+      if (Exclude > Start)
+        Out.push_back({Start, Exclude - Start});
+      if (Exclude + 1 < Start + Len)
+        Out.push_back({Exclude + 1, Start + Len - Exclude - 1});
+    }
+    return Out;
   }
 
   void compileAllocate(const Allocate *Op) {

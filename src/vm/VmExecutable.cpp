@@ -2,9 +2,12 @@
 
 #include "vm/VmExecutable.h"
 
+#include "runtime/TaskScheduler.h"
 #include "vm/VmCompiler.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 using namespace halide;
 
@@ -72,66 +75,85 @@ struct RtBuf {
   void *Data = nullptr;
   int64_t SizeElems = 0; ///< 0 = unknown (skip the bounds check)
   int64_t Bytes = 0;     ///< owned allocations only
-  int64_t Loads = 0, Stores = 0;
 };
 
-} // namespace
-
-VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
-    : Executable(std::move(LP), std::move(T)) {
-  Prog = compileToBytecode(P);
-}
-
-std::shared_ptr<const VmExecutable> halide::vmCompile(
-    const LoweredPipeline &P, const Target &T) {
-  return std::make_shared<VmExecutable>(P, T);
-}
-
-int VmExecutable::run(const ParamBindings &Params,
-                      ExecutionStats *Stats) const {
-  // Per-run state: the register file starts from the compiled template
-  // (constants pre-materialized), buffers and scalar params are resolved
-  // from the bindings once, up front.
-  std::vector<VmSlot> Regs = Prog.InitialRegs;
-  VmSlot *R = Regs.data();
-
-  const size_t NumBufs = Prog.Buffers.size();
-  std::vector<RtBuf> Bufs(NumBufs);
-  std::vector<ElemKind> Kinds(NumBufs);
-  for (size_t BI = 0; BI < NumBufs; ++BI) {
-    const VmBufferDesc &Desc = Prog.Buffers[BI];
-    Kinds[BI] = elemKindOf(Desc.ElemType);
-    if (!Desc.IsBoundary)
-      continue;
-    const RawBuffer &Raw = Params.buffer(Desc.Name);
-    user_assert(Raw.defined()) << "buffer " << Desc.Name << " is undefined";
-    user_assert(Raw.ElemType == Desc.ElemType)
-        << "buffer " << Desc.Name << " has element type "
-        << Raw.ElemType.str() << ", pipeline expects "
-        << Desc.ElemType.str();
-    user_assert(Raw.Dim[0].Stride == 1)
-        << "buffer " << Desc.Name
-        << " must be dense in dimension 0 (stride 1)";
-    RtBuf &B = Bufs[BI];
-    B.Data = Raw.Host;
-    int64_t MaxIndex = 0;
-    for (int D = 0; D < Raw.Dimensions; ++D)
-      MaxIndex += int64_t(Raw.Dim[D].Extent - 1) * Raw.Dim[D].Stride;
-    B.SizeElems = MaxIndex + 1;
-  }
-
-  for (const VmParamInit &PI : Prog.Params) {
-    double Scalar;
-    internal_assert(Params.lookupScalar(PI.Name, &Scalar))
-        << "vm: unbound parameter " << PI.Name;
-    if (PI.IsFloat)
-      R[PI.Slot].F = Scalar;
-    else
-      R[PI.Slot].I = wrapBits(int64_t(Scalar), PI.Bits, PI.SignedWrap);
-  }
-
-  ExecutionStats S;
+/// One execution context's share of the run statistics. Every context —
+/// the root, and one per task chunk — counts only the work it executed
+/// itself; shards merge bottom-up in chunk order, which makes the merged
+/// totals independent of how iterations interleaved across workers:
+/// loads/stores/span are sums, and the peak-allocation recurrence
+/// Peak = max(Peak, CurrentAtSpawn + ChildPeak) reproduces exactly the
+/// serial execution's high-water mark because every chunk allocates and
+/// frees only scopes nested inside its own iterations (a chunk's net
+/// allocation is zero by construction).
+struct StatsShard {
+  std::vector<int64_t> Loads, Stores; ///< indexed by buffer-table slot
+  int64_t CurAlloc = 0, PeakAlloc = 0;
   int64_t ParallelIters = 0;
+
+  void init(size_t NumBufs) {
+    Loads.assign(NumBufs, 0);
+    Stores.assign(NumBufs, 0);
+    CurAlloc = PeakAlloc = ParallelIters = 0;
+  }
+  void noteAlloc(int64_t Bytes) {
+    CurAlloc += Bytes;
+    if (CurAlloc > PeakAlloc)
+      PeakAlloc = CurAlloc;
+  }
+  void noteFree(int64_t Bytes) { CurAlloc -= Bytes; }
+  void merge(const StatsShard &Child) {
+    for (size_t I = 0; I < Loads.size(); ++I) {
+      Loads[I] += Child.Loads[I];
+      Stores[I] += Child.Stores[I];
+    }
+    PeakAlloc = std::max(PeakAlloc, CurAlloc + Child.PeakAlloc);
+    CurAlloc += Child.CurAlloc;
+    ParallelIters += Child.ParallelIters;
+  }
+};
+
+/// Everything one thread needs to execute a region of the program: a
+/// register file, the buffer table (inherited by value at task spawn, so
+/// allocations inside a task body stay private to it), and a stats shard.
+struct VmContext {
+  std::vector<VmSlot> Regs;
+  std::vector<RtBuf> Bufs;
+  StatsShard Shard;
+};
+
+/// Per-worker context freelist: task chunks on the same worker reuse the
+/// same backing storage instead of reallocating register files per chunk.
+thread_local std::vector<std::unique_ptr<VmContext>> ContextPool;
+
+/// One program execution. Owns nothing; borrows the program and fans task
+/// chunks out to the task scheduler.
+class Runner {
+public:
+  Runner(const VmProgram &Prog, const std::vector<ElemKind> &Kinds,
+         int Threads)
+      : Prog(Prog), Kinds(Kinds), Threads(Threads) {}
+
+  /// Executes from \p StartPC until Halt or TaskRet.
+  void exec(VmContext &C, size_t PC) const;
+
+  /// Runs iterations [Begin, End) of \p TD in a fresh worker context
+  /// seeded from \p Parent, depositing the chunk's stats in \p Out.
+  void runChunk(const VmContext &Parent, const VmTaskDesc &TD,
+                int64_t Begin, int64_t End, StatsShard *Out) const;
+
+private:
+  void dispatchParallel(VmContext &C, const VmTaskDesc &TD, int64_t Min,
+                        int64_t Extent) const;
+
+  const VmProgram &Prog;
+  const std::vector<ElemKind> &Kinds;
+  const int Threads; ///< effective thread request (>= 1)
+};
+
+void Runner::exec(VmContext &C, size_t PC) const {
+  VmSlot *R = C.Regs.data();
+  const VmInstr *Code = Prog.Code.data();
 
   auto checkBounds = [&](const RtBuf &B, size_t BI, int64_t Idx) {
     internal_assert(Idx >= 0 && (B.SizeElems == 0 || Idx < B.SizeElems))
@@ -139,8 +161,6 @@ int VmExecutable::run(const ParamBindings &Params,
         << Idx << " outside [0, " << B.SizeElems << ")";
   };
 
-  const VmInstr *Code = Prog.Code.data();
-  size_t PC = 0;
   for (;;) {
     const VmInstr &In = Code[PC];
     const int L = In.Lanes;
@@ -258,8 +278,8 @@ int VmExecutable::run(const ParamBindings &Params,
       break;
 
     case VmOp::Load: {
-      RtBuf &B = Bufs[size_t(In.Aux)];
-      B.Loads += L;
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
+      C.Shard.Loads[size_t(In.Aux)] += L;
       const void *Base = B.Data;
       switch (Kinds[size_t(In.Aux)]) {
 #define VM_LOAD(KIND, CTYPE, FIELD, CONV)                                      \
@@ -285,8 +305,8 @@ int VmExecutable::run(const ParamBindings &Params,
     }
 
     case VmOp::Store: {
-      RtBuf &B = Bufs[size_t(In.Aux)];
-      B.Stores += L;
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
+      C.Shard.Stores[size_t(In.Aux)] += L;
       void *Base = B.Data;
       switch (Kinds[size_t(In.Aux)]) {
 #define VM_STORE(KIND, CTYPE, FIELD)                                           \
@@ -312,7 +332,7 @@ int VmExecutable::run(const ParamBindings &Params,
     }
 
     case VmOp::Alloc: {
-      RtBuf &B = Bufs[size_t(In.Aux)];
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
       int64_t Elems = R[In.A].I;
       internal_assert(Elems >= 0)
           << "negative allocation size for " << Prog.Buffers[size_t(In.Aux)].Name;
@@ -322,12 +342,12 @@ int VmExecutable::run(const ParamBindings &Params,
           << "allocation of " << B.Bytes << " bytes failed for "
           << Prog.Buffers[size_t(In.Aux)].Name;
       B.SizeElems = Elems;
-      S.noteAllocation(B.Bytes);
+      C.Shard.noteAlloc(B.Bytes);
       break;
     }
     case VmOp::FreeOp: {
-      RtBuf &B = Bufs[size_t(In.Aux)];
-      S.noteFree(B.Bytes);
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
+      C.Shard.noteFree(B.Bytes);
       halideFree(B.Data);
       B.Data = nullptr;
       B.Bytes = 0;
@@ -350,6 +370,28 @@ int VmExecutable::run(const ParamBindings &Params,
         continue;
       }
       break;
+
+    case VmOp::ParFor: {
+      const VmTaskDesc &TD = Prog.Tasks[size_t(In.Dst)];
+      int64_t Min = R[In.A].I, Extent = R[In.B].I;
+      if (Extent > 0) {
+        if (Threads == 1 || Extent == 1) {
+          // Serial fallback runs the body regions inline in this
+          // context — the execution order, and therefore every counter,
+          // is identical to the pre-threading serial loop.
+          for (int64_t I = Min; I < Min + Extent; ++I) {
+            R[TD.CounterReg].I = I;
+            exec(C, TD.BodyStart);
+          }
+        } else {
+          dispatchParallel(C, TD, Min, Extent);
+        }
+      }
+      PC = size_t(In.Aux);
+      continue;
+    }
+    case VmOp::TaskRet:
+      return;
 
     case VmOp::AssertCond:
       user_assert(R[In.A].I)
@@ -398,24 +440,154 @@ int VmExecutable::run(const ParamBindings &Params,
     }
 
     case VmOp::CountParallel:
-      ParallelIters += R[In.A].I;
+      C.Shard.ParallelIters += R[In.A].I;
       break;
 
-    case VmOp::Halt: {
-      if (Stats) {
-        S.ParallelIterations = ParallelIters;
-        for (size_t BI = 0; BI < NumBufs; ++BI) {
-          const RtBuf &B = Bufs[BI];
-          if (B.Loads)
-            S.LoadsPerBuffer[Prog.Buffers[BI].Name] += B.Loads;
-          if (B.Stores)
-            S.StoresPerBuffer[Prog.Buffers[BI].Name] += B.Stores;
-        }
-        *Stats = std::move(S);
-      }
-      return 0;
-    }
+    case VmOp::Halt:
+      return;
     }
     ++PC;
   }
+}
+
+/// The scheduler-facing closure for one parallel loop dispatch.
+struct ParClosure {
+  const Runner *TheRunner;
+  const VmContext *Parent;
+  const VmTaskDesc *Task;
+  std::vector<StatsShard> *Shards;
+};
+
+void vmRunParChunk(int64_t Begin, int64_t End, int Chunk, void *Closure);
+
+void Runner::dispatchParallel(VmContext &C, const VmTaskDesc &TD,
+                              int64_t Min, int64_t Extent) const {
+  // Mirror the scheduler's chunk count so the shard array can be sized
+  // (and merged) deterministically up front.
+  const int MaxTasks = Threads * 4;
+  const int NumChunks = int(Extent < MaxTasks ? Extent : MaxTasks);
+  std::vector<StatsShard> Shards(static_cast<size_t>(NumChunks));
+  ParClosure PC{this, &C, &TD, &Shards};
+  int Dispatched =
+      parallelForChunks(Min, Extent, MaxTasks, vmRunParChunk, &PC);
+  internal_assert(Dispatched == NumChunks)
+      << "vm: scheduler chunk count diverged from the dispatcher's";
+  // Chunk-order merge: the totals come out identical to the serial
+  // execution no matter which workers ran which chunks when.
+  for (const StatsShard &S : Shards)
+    C.Shard.merge(S);
+}
+
+void Runner::runChunk(const VmContext &Parent, const VmTaskDesc &TD,
+                      int64_t Begin, int64_t End, StatsShard *Out) const {
+  // A worker context: zeroed registers with the task's live-in ranges
+  // copied from the spawning context, the spawner's buffer table by
+  // value, and a fresh stats shard. Contexts are pooled per worker
+  // thread so consecutive chunks reuse their storage.
+  std::unique_ptr<VmContext> Ctx;
+  if (!ContextPool.empty()) {
+    Ctx = std::move(ContextPool.back());
+    ContextPool.pop_back();
+  } else {
+    Ctx = std::make_unique<VmContext>();
+  }
+  Ctx->Regs.assign(Prog.InitialRegs.size(), VmSlot{0});
+  for (const auto &[Slot, Len] : TD.LiveIn)
+    std::copy(Parent.Regs.begin() + Slot, Parent.Regs.begin() + Slot + Len,
+              Ctx->Regs.begin() + Slot);
+  Ctx->Bufs = Parent.Bufs;
+  Ctx->Shard.init(Prog.Buffers.size());
+
+  for (int64_t I = Begin; I < End; ++I) {
+    Ctx->Regs[TD.CounterReg].I = I;
+    exec(*Ctx, TD.BodyStart);
+  }
+
+  *Out = std::move(Ctx->Shard);
+  if (ContextPool.size() < 8)
+    ContextPool.push_back(std::move(Ctx));
+}
+
+void vmRunParChunk(int64_t Begin, int64_t End, int Chunk, void *Closure) {
+  const ParClosure *PC = static_cast<const ParClosure *>(Closure);
+  PC->TheRunner->runChunk(*PC->Parent, *PC->Task, Begin, End,
+                          &(*PC->Shards)[size_t(Chunk)]);
+}
+
+} // namespace
+
+VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
+    : Executable(std::move(LP), std::move(T)) {
+  Prog = compileToBytecode(P);
+}
+
+std::shared_ptr<const VmExecutable> halide::vmCompile(
+    const LoweredPipeline &P, const Target &T) {
+  return std::make_shared<VmExecutable>(P, T);
+}
+
+int VmExecutable::run(const ParamBindings &Params,
+                      ExecutionStats *Stats) const {
+  // Root context: the register file starts from the compiled template
+  // (constants pre-materialized), buffers and scalar params are resolved
+  // from the bindings once, up front.
+  VmContext Root;
+  Root.Regs = Prog.InitialRegs;
+
+  const size_t NumBufs = Prog.Buffers.size();
+  Root.Bufs.resize(NumBufs);
+  std::vector<ElemKind> Kinds(NumBufs);
+  for (size_t BI = 0; BI < NumBufs; ++BI) {
+    const VmBufferDesc &Desc = Prog.Buffers[BI];
+    Kinds[BI] = elemKindOf(Desc.ElemType);
+    if (!Desc.IsBoundary)
+      continue;
+    const RawBuffer &Raw = Params.buffer(Desc.Name);
+    user_assert(Raw.defined()) << "buffer " << Desc.Name << " is undefined";
+    user_assert(Raw.ElemType == Desc.ElemType)
+        << "buffer " << Desc.Name << " has element type "
+        << Raw.ElemType.str() << ", pipeline expects "
+        << Desc.ElemType.str();
+    user_assert(Raw.Dim[0].Stride == 1)
+        << "buffer " << Desc.Name
+        << " must be dense in dimension 0 (stride 1)";
+    RtBuf &B = Root.Bufs[BI];
+    B.Data = Raw.Host;
+    int64_t MaxIndex = 0;
+    for (int D = 0; D < Raw.Dimensions; ++D)
+      MaxIndex += int64_t(Raw.Dim[D].Extent - 1) * Raw.Dim[D].Stride;
+    B.SizeElems = MaxIndex + 1;
+  }
+
+  for (const VmParamInit &PI : Prog.Params) {
+    double Scalar;
+    internal_assert(Params.lookupScalar(PI.Name, &Scalar))
+        << "vm: unbound parameter " << PI.Name;
+    if (PI.IsFloat)
+      Root.Regs[PI.Slot].F = Scalar;
+    else
+      Root.Regs[PI.Slot].I = wrapBits(int64_t(Scalar), PI.Bits, PI.SignedWrap);
+  }
+
+  Root.Shard.init(NumBufs);
+
+  const int Threads =
+      T.NumThreads > 0 ? T.NumThreads : taskSchedulerThreads();
+  Runner R(Prog, Kinds, Threads < 1 ? 1 : Threads);
+  R.exec(Root, 0);
+
+  if (Stats) {
+    ExecutionStats S;
+    S.ParallelIterations = Root.Shard.ParallelIters;
+    S.PeakAllocationBytes = Root.Shard.PeakAlloc;
+    S.CurrentAllocationBytes = Root.Shard.CurAlloc;
+    for (size_t BI = 0; BI < NumBufs; ++BI) {
+      if (Root.Shard.Loads[BI])
+        S.LoadsPerBuffer[Prog.Buffers[BI].Name] += Root.Shard.Loads[BI];
+      if (Root.Shard.Stores[BI])
+        S.StoresPerBuffer[Prog.Buffers[BI].Name] += Root.Shard.Stores[BI];
+    }
+    *Stats = std::move(S);
+  }
+  return 0;
 }

@@ -1,18 +1,22 @@
-//===-- tests/RuntimeTest.cpp - Thread pool, GPU sim, buffers ------------------===//
+//===-- tests/RuntimeTest.cpp - Task scheduler, GPU sim, buffers ---------------===//
 
 #include "runtime/Buffer.h"
 #include "runtime/GpuSim.h"
 #include "runtime/Runtime.h"
-#include "runtime/ThreadPool.h"
+#include "runtime/TaskScheduler.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 
 using namespace halide;
 
-TEST(ThreadPoolTest, CoversAllIterations) {
+TEST(TaskSchedulerTest, CoversAllIterations) {
   std::vector<std::atomic<int>> Hits(100);
   for (auto &H : Hits)
     H = 0;
@@ -29,7 +33,7 @@ TEST(ThreadPoolTest, CoversAllIterations) {
     EXPECT_EQ(Hits[size_t(I)].load(), 1) << "iteration " << I;
 }
 
-TEST(ThreadPoolTest, NonZeroMin) {
+TEST(TaskSchedulerTest, NonZeroMin) {
   std::atomic<int64_t> Sum{0};
   struct Ctx {
     std::atomic<int64_t> *Sum;
@@ -42,7 +46,7 @@ TEST(ThreadPoolTest, NonZeroMin) {
   EXPECT_EQ(Sum.load(), 10 + 11 + 12 + 13 + 14);
 }
 
-TEST(ThreadPoolTest, NestedParallelism) {
+TEST(TaskSchedulerTest, NestedParallelism) {
   std::atomic<int> Count{0};
   struct Ctx {
     std::atomic<int> *Count;
@@ -60,9 +64,133 @@ TEST(ThreadPoolTest, NestedParallelism) {
   EXPECT_EQ(Count.load(), 32);
 }
 
-TEST(ThreadPoolTest, ZeroAndNegativeExtent) {
+TEST(TaskSchedulerTest, NestedLoopsRunOffTheSubmittingThread) {
+  // The work-stealing property the single-queue pool lacked: a nested
+  // parallel loop's iterations are real tasks other threads execute, not
+  // inlined serially on the submitting worker. A barrier holds all four
+  // outer iterations concurrently occupied — which already requires the
+  // workers to have stolen the outer chunks from the submitter's deque —
+  // and then each runs a nested loop; the barrier releasing at all
+  // proves 4-way outer concurrency, and inner work must land on more
+  // than one thread.
+  if (taskSchedulerThreads() < 4)
+    GTEST_SKIP() << "needs at least 4 scheduler threads";
+  struct Ctx {
+    std::mutex M;
+    std::condition_variable CV;
+    int Arrived = 0;
+    std::set<std::thread::id> Ids;
+  } C;
+  parallelFor(0, 4,
+              [](int32_t, void *P) {
+                auto *Ctx_ = static_cast<Ctx *>(P);
+                {
+                  std::unique_lock<std::mutex> Lock(Ctx_->M);
+                  if (++Ctx_->Arrived >= 4)
+                    Ctx_->CV.notify_all();
+                  else
+                    while (Ctx_->Arrived < 4)
+                      Ctx_->CV.wait(Lock);
+                }
+                parallelFor(0, 64,
+                            [](int32_t, void *Q) {
+                              auto *Inner = static_cast<Ctx *>(Q);
+                              std::lock_guard<std::mutex> Lock(Inner->M);
+                              Inner->Ids.insert(std::this_thread::get_id());
+                            },
+                            Ctx_);
+              },
+              &C);
+  EXPECT_GT(C.Ids.size(), 1u);
+}
+
+TEST(TaskSchedulerTest, ZeroAndNegativeExtent) {
   parallelFor(0, 0, [](int32_t, void *) { FAIL(); }, nullptr);
   parallelFor(0, -5, [](int32_t, void *) { FAIL(); }, nullptr);
+}
+
+TEST(TaskSchedulerTest, ChunkPartitionIsDeterministicAndComplete) {
+  struct Ctx {
+    std::atomic<int64_t> Iters{0};
+    std::atomic<int> Chunks{0};
+  } C;
+  int N = parallelForChunks(
+      5, 1000, 7,
+      [](int64_t Begin, int64_t End, int Chunk, void *P) {
+        auto *Ctx_ = static_cast<Ctx *>(P);
+        EXPECT_GE(Chunk, 0);
+        EXPECT_LT(Chunk, 7);
+        EXPECT_LT(Begin, End);
+        Ctx_->Iters.fetch_add(End - Begin);
+        Ctx_->Chunks.fetch_add(1);
+      },
+      &C);
+  EXPECT_EQ(N, 7);
+  EXPECT_EQ(C.Iters.load(), 1000);
+  EXPECT_EQ(C.Chunks.load(), 7);
+  EXPECT_EQ(parallelForChunks(
+                0, 0, 4, [](int64_t, int64_t, int, void *) { FAIL(); },
+                nullptr),
+            0);
+}
+
+TEST(TaskSchedulerTest, ResizeTakesEffectAndRestoresDefault) {
+  int Default = taskSchedulerThreads();
+  EXPECT_GE(Default, 1);
+  setTaskSchedulerThreads(3);
+  EXPECT_EQ(taskSchedulerThreads(), 3);
+  // Loops still cover every iteration at the new size.
+  std::atomic<int> Count{0};
+  parallelFor(0, 50,
+              [](int32_t, void *P) {
+                static_cast<std::atomic<int> *>(P)->fetch_add(1);
+              },
+              &Count);
+  EXPECT_EQ(Count.load(), 50);
+  setTaskSchedulerThreads(0);
+  EXPECT_EQ(taskSchedulerThreads(), Default);
+}
+
+TEST(TaskSchedulerTest, ResizeIsLockedAgainstInFlightLoops) {
+  // The ThreadPool lifecycle bug this runtime replaced: resizing while
+  // loops are in flight tore down workers under a running job. The
+  // scheduler must instead drain in-flight loops, rebuild, and release
+  // the queued loops — no lost iterations, no deadlock, no crash.
+  std::atomic<bool> Done{false};
+  std::atomic<int64_t> Total{0};
+  std::vector<std::thread> Submitters;
+  for (int S = 0; S < 3; ++S)
+    Submitters.emplace_back([&] {
+      while (!Done.load()) {
+        parallelFor(0, 64,
+                    [](int32_t, void *P) {
+                      static_cast<std::atomic<int64_t> *>(P)->fetch_add(1);
+                    },
+                    &Total);
+      }
+    });
+  for (int N : {2, 4, 1, 3, 0})
+    setTaskSchedulerThreads(N);
+  Done = true;
+  for (std::thread &T : Submitters)
+    T.join();
+  EXPECT_EQ(Total.load() % 64, 0);
+  EXPECT_GT(Total.load(), 0);
+}
+
+TEST(TaskSchedulerTest, InTaskWorkerReflectsContext) {
+  EXPECT_FALSE(inTaskWorker());
+  struct Ctx {
+    std::atomic<int> InTask{0};
+  } C;
+  parallelFor(0, 8,
+              [](int32_t, void *P) {
+                if (inTaskWorker())
+                  static_cast<Ctx *>(P)->InTask.fetch_add(1);
+              },
+              &C);
+  EXPECT_EQ(C.InTask.load(), 8);
+  EXPECT_FALSE(inTaskWorker());
 }
 
 TEST(GpuSimTest, LaunchStats) {

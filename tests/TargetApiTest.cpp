@@ -187,6 +187,14 @@ TEST(TargetTest, ParseRoundTrips) {
   EXPECT_EQ(T.TargetBackend, Backend::GpuSim);
   EXPECT_TRUE(Target::parse("jit-no_sliding_window", &T));
   EXPECT_TRUE(T.DisableSlidingWindow);
+  EXPECT_TRUE(Target::parse("vm-threads4", &T));
+  EXPECT_EQ(T.TargetBackend, Backend::VmBytecode);
+  EXPECT_EQ(T.NumThreads, 4);
+  EXPECT_EQ(T.str(), "vm_bytecode-threads4");
+  EXPECT_EQ(Target::vm().withThreads(4), T);
+  // The thread request is an execution knob, not a lowering flag.
+  EXPECT_EQ(T.lowerOptionsFingerprint(), Target::vm().lowerOptionsFingerprint());
+  EXPECT_FALSE(Target::parse("vm-threads0", &T));
   EXPECT_FALSE(Target::parse("cuda", &T));
 }
 

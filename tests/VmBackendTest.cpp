@@ -11,6 +11,7 @@
 #include "codegen/Interpreter.h"
 #include "lang/ImageParam.h"
 #include "lang/Pipeline.h"
+#include "runtime/TaskScheduler.h"
 #include "vm/VmExecutable.h"
 
 #include <gtest/gtest.h>
@@ -235,7 +236,163 @@ TEST(VmBackendTest, DisassemblyResolvesNames) {
         In.Op == VmOp::LoopNext) {
       ASSERT_LT(size_t(In.Aux), Prog.Code.size());
     }
+    if (In.Op == VmOp::ParFor) {
+      // The resume point, task index, and body region must all resolve.
+      ASSERT_LT(size_t(In.Aux), Prog.Code.size());
+      ASSERT_LT(size_t(In.Dst), Prog.Tasks.size());
+      const VmTaskDesc &T = Prog.Tasks[In.Dst];
+      ASSERT_LT(T.BodyStart, T.BodyEnd);
+      ASSERT_LT(size_t(T.BodyEnd), Prog.Code.size());
+      ASSERT_EQ(Prog.Code[T.BodyEnd].Op, VmOp::TaskRet);
+      for (const auto &[Slot, Len] : T.LiveIn)
+        ASSERT_LE(size_t(Slot) + Len, Prog.InitialRegs.size());
+    }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Threaded parallel dispatch: parallel For bodies become task entry
+// points executed over the work-stealing scheduler; results must stay
+// bit-identical to the interpreter (and to the serial VM) whatever the
+// thread count.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forces a real 4-worker pool for the scope of a test, restoring the
+/// previous size on destruction.
+struct ScopedPool {
+  int Before;
+  explicit ScopedPool(int N) : Before(taskSchedulerThreads()) {
+    setTaskSchedulerThreads(N);
+  }
+  ~ScopedPool() { setTaskSchedulerThreads(Before); }
+};
+
+} // namespace
+
+TEST(VmBackendTest, ParallelHistogramUpdateStages) {
+  // Histogram with a *parallel* initialization stage and a serial
+  // scatter update, followed by a parallel scan consumer: the update
+  // stage must see fully initialized bins regardless of which workers
+  // zeroed them, and the consumer must see the completed scatter.
+  ScopedPool Pool(4);
+  ImageParam In(UInt(8), 2, "vmph_in");
+  Var i("i");
+  Func Hist("vmph_hist"), Cum("vmph_cum");
+  RDom R(0, In.width(), 0, In.height(), "vmph_r");
+  Hist(i) = cast(UInt(32), 0);
+  Hist(clamp(cast(Int(32), In(R.x, R.y)), 0, 255)) += cast(UInt(32), 1);
+  Hist.bound(i, 0, 256);
+  Cum(i) = Hist(i) * 2 + 1;
+  Cum.bound(i, 0, 256);
+  Hist.computeRoot().parallel(i);
+  Cum.parallel(i);
+
+  const int W = 37, H = 23;
+  Buffer<uint8_t> Input(W, H);
+  Input.fill([](int X, int Y) { return (X * 5 + Y * 11) % 256; });
+  ParamBindings Params;
+  Params.bind("vmph_in", Input);
+
+  LoweredPipeline LP = lower(Cum.function());
+  Buffer<uint32_t> FromInterp(256), FromVm(256);
+  {
+    ParamBindings PI = Params;
+    PI.bind(Cum.name(), FromInterp);
+    interpret(LP, PI);
+  }
+  {
+    ParamBindings PV = Params;
+    PV.bind(Cum.name(), FromVm);
+    ASSERT_EQ(vmCompile(LP, Target::vm().withThreads(4))->run(PV), 0);
+  }
+  std::vector<uint32_t> Want(256, 0);
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X)
+      ++Want[Input(X, Y)];
+  for (int I = 0; I < 256; ++I) {
+    ASSERT_EQ(FromVm(I), Want[size_t(I)] * 2 + 1) << "bin " << I;
+    ASSERT_EQ(FromVm(I), FromInterp(I)) << "bin " << I;
+  }
+}
+
+TEST(VmBackendTest, NestedParallelTiles) {
+  // The paper's Fig. 3 motivation: parallel tiles with a parallel
+  // producer nested inside each tile. Under the single-queue pool the
+  // inner loop serialized on the submitting worker; under the
+  // work-stealing scheduler both levels fan out — and the output must
+  // still match the interpreter bit for bit.
+  ScopedPool Pool(4);
+  MixedPipe P("vmnp", /*Variant=*/0); // schedule overridden below
+  Var xo("xo"), yo("yo"), xi("xi"), yi("yi");
+  P.Out.function().resetSchedule();
+  P.Stage1.function().resetSchedule();
+  P.Out.tile(P.x, P.y, xo, yo, xi, yi, 16, 8).parallel(yo);
+  P.Stage1.computeAt(P.Out, xo).parallel(P.y);
+
+  const int W = 64, H = 32;
+  Buffer<float> Input(W, H);
+  Input.fill([](int X, int Y) {
+    return float((X * 13 + Y * 29) % 101) / 17.0f - 2.0f;
+  });
+  ParamBindings Params;
+  Params.bind(P.In.name(), Input);
+
+  LoweredPipeline LP = lower(P.Out.function());
+  Buffer<int16_t> FromInterp(W, H), FromVm(W, H), FromVmSerial(W, H);
+  {
+    ParamBindings PI = Params;
+    PI.bind(P.Out.name(), FromInterp);
+    interpret(LP, PI);
+  }
+  {
+    ParamBindings PV = Params;
+    PV.bind(P.Out.name(), FromVm);
+    auto Exe = vmCompile(LP, Target::vm().withThreads(4));
+    // The program advertises its extracted tasks (outer tiles + nested
+    // producer), and the listing shows their closures.
+    EXPECT_GE(Exe->program().Tasks.size(), 2u);
+    EXPECT_NE(Exe->source().find("par_for"), std::string::npos);
+    EXPECT_NE(Exe->source().find("live_in"), std::string::npos);
+    ASSERT_EQ(Exe->run(PV), 0);
+  }
+  {
+    ParamBindings PV = Params;
+    PV.bind(P.Out.name(), FromVmSerial);
+    ASSERT_EQ(vmCompile(LP, Target::vm().withThreads(1))->run(PV), 0);
+  }
+  for (int Y = 0; Y < H; ++Y)
+    for (int X = 0; X < W; ++X) {
+      ASSERT_EQ(FromInterp(X, Y), FromVm(X, Y))
+          << "threaded vs interpreter at (" << X << "," << Y << ")";
+      ASSERT_EQ(FromVmSerial(X, Y), FromVm(X, Y))
+          << "threaded vs serial VM at (" << X << "," << Y << ")";
+    }
+}
+
+TEST(VmBackendTest, ThreadTargetsShareOneLoweringButNotExecutables) {
+  // withThreads is an execution knob: it must not re-lower, but two
+  // thread counts cannot alias one cached executable (the artifact
+  // carries its Target, whose NumThreads drives dispatch).
+  Var x("x"), y("y");
+  Func F("vmtt_f"), G("vmtt_g");
+  F(x, y) = x + y * 5;
+  G(x, y) = F(x, y) + F(x + 1, y);
+  F.computeRoot().parallel(y);
+  G.parallel(y);
+  Pipeline Pipe(G);
+  Buffer<int32_t> Out1(32, 16), Out2(32, 16);
+
+  CompileCounters Before = Pipeline::compileCounters();
+  Pipe.realize(Out1, ParamBindings(), Target::vm().withThreads(1));
+  Pipe.realize(Out2, ParamBindings(), Target::vm().withThreads(4));
+  const CompileCounters &After = Pipeline::compileCounters();
+  EXPECT_EQ(After.Lowerings - Before.Lowerings, 1);
+  EXPECT_EQ(After.BackendCompiles - Before.BackendCompiles, 2);
+  for (int Y = 0; Y < 16; ++Y)
+    for (int X = 0; X < 32; ++X)
+      EXPECT_EQ(Out1(X, Y), Out2(X, Y));
 }
 
 //===----------------------------------------------------------------------===//
