@@ -13,9 +13,16 @@
 // parallel-runtime speedup is part of the tracked trajectory
 // (--no-thread-sweep skips it).
 //
+// --serve switches to throughput mode: N client threads (--serve-clients)
+// each submit M frames (--serve-frames) of every app's tuned schedule
+// through Pipeline::realizeAsync against the shared task scheduler, and
+// the rows report aggregate frames/sec plus p50/p99 per-frame latency —
+// the serving trajectory rather than the single-frame one.
+//
 // Usage: bench_runner [--backend interp|vm|jit|gpu] [--threads N]
 //                     [--json <path>] [--width W] [--height H]
 //                     [--iters N] [--no-thread-sweep]
+//                     [--serve] [--serve-clients N] [--serve-frames M]
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +31,13 @@
 #include "runtime/TaskScheduler.h"
 #include "support/DiffTest.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace halide;
@@ -75,6 +85,96 @@ void runOne(App &A, const char *ScheduleName,
               Row.Threads, W, H, Ms, Row.NsPerPixel);
 }
 
+struct ServeRow {
+  std::string App;
+  std::string Schedule;
+  std::string BackendName;
+  int Threads = 1;
+  int Clients = 0, FramesPerClient = 0;
+  int Width = 0, Height = 0;
+  double Fps = 0;
+  double P50Ms = 0, P99Ms = 0;
+};
+
+double percentileMs(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = size_t(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+/// Throughput mode for one app: \p Clients client threads each realize
+/// \p FramesPer frames asynchronously (alternating request priorities,
+/// waiting on each frame's future before submitting the next — a closed
+/// per-client loop, like a serving tier with per-connection pipelining of
+/// depth one). Compile and one warmup frame happen before the clock
+/// starts, so the row measures steady-state serving: cached executable,
+/// warm buffer pool.
+void runServe(App &A, const Target &T, int W, int H, int Clients,
+              int FramesPer, std::vector<ServeRow> *Rows) {
+  const bool Tuned = A.ScheduleTuned != nullptr;
+  const std::function<void()> &Apply =
+      Tuned ? A.ScheduleTuned : A.ScheduleBreadthFirst;
+  if (!Apply)
+    return;
+  Apply();
+  Pipeline Pipe(A.Output);
+  ParamBindings Params = A.MakeInputs(W, H);
+  {
+    std::shared_ptr<void> Keep;
+    RawBuffer Out = makeAppOutput(A, W, H, &Keep);
+    Pipe.realizeAsync(Out, Params, T).wait(); // compile + warm the pools
+  }
+
+  std::vector<std::vector<double>> Latencies;
+  Latencies.resize(size_t(Clients));
+  const auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ClientThreads;
+  for (int C = 0; C < Clients; ++C) {
+    ClientThreads.emplace_back([&, C] {
+      std::shared_ptr<void> Keep;
+      RawBuffer Out = makeAppOutput(A, W, H, &Keep);
+      for (int F = 0; F < FramesPer; ++F) {
+        const auto T0 = std::chrono::steady_clock::now();
+        Pipe.realizeAsync(Out, Params, T, /*Priority=*/C % 2).wait();
+        Latencies[size_t(C)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - T0)
+                .count());
+      }
+    });
+  }
+  for (std::thread &Th : ClientThreads)
+    Th.join();
+  const double WallSec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  std::vector<double> All;
+  for (const std::vector<double> &L : Latencies)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+
+  ServeRow Row;
+  Row.App = A.Name;
+  Row.Schedule = Tuned ? "tuned" : "breadth_first";
+  Row.BackendName = backendName(T.TargetBackend);
+  Row.Threads = T.NumThreads > 0 ? T.NumThreads : taskSchedulerThreads();
+  Row.Clients = Clients;
+  Row.FramesPerClient = FramesPer;
+  Row.Width = W;
+  Row.Height = H;
+  Row.Fps = WallSec > 0 ? double(All.size()) / WallSec : 0;
+  Row.P50Ms = percentileMs(All, 0.50);
+  Row.P99Ms = percentileMs(All, 0.99);
+  Rows->push_back(Row);
+  std::printf("%-16s %-14s %-11s t%-2d %dx%-2d clients  %8.2f fps  "
+              "p50 %8.3f ms  p99 %8.3f ms\n",
+              A.Name.c_str(), Row.Schedule.c_str(), Row.BackendName.c_str(),
+              Row.Threads, Clients, FramesPer, Row.Fps, Row.P50Ms,
+              Row.P99Ms);
+}
+
 /// The threads sweep: the two apps whose tuned schedules carry the
 /// paper's parallel strategies, timed on the VM serially and at 4
 /// threads. The scheduler pool is resized around each row so the thread
@@ -101,6 +201,8 @@ int main(int Argc, char **Argv) {
   Target T = Target::jit();
   int W = 512, H = 384, Iters = 5, Threads = 0;
   bool ThreadSweep = true;
+  bool Serve = false;
+  int ServeClients = 4, ServeFrames = 16;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     std::string BackendText;
@@ -130,11 +232,18 @@ int main(int Argc, char **Argv) {
       Iters = std::atoi(Argv[++I]);
     else if (Arg == "--no-thread-sweep")
       ThreadSweep = false;
+    else if (Arg == "--serve")
+      Serve = true;
+    else if (Arg == "--serve-clients" && I + 1 < Argc)
+      ServeClients = std::atoi(Argv[++I]);
+    else if (Arg == "--serve-frames" && I + 1 < Argc)
+      ServeFrames = std::atoi(Argv[++I]);
     else {
       std::fprintf(stderr,
                    "usage: %s [--backend interp|vm|jit|gpu] [--threads N] "
                    "[--json <path>] [--width W] [--height H] [--iters N] "
-                   "[--no-thread-sweep]\n",
+                   "[--no-thread-sweep] [--serve] [--serve-clients N] "
+                   "[--serve-frames M]\n",
                    Argv[0]);
       return 2;
     }
@@ -146,16 +255,22 @@ int main(int Argc, char **Argv) {
   }
 
   std::vector<BenchRow> Rows;
+  std::vector<ServeRow> ServeRows;
   std::vector<App> Apps = paperApps();
   Apps.push_back(makeHistogramEqualizeApp());
-  for (App &A : Apps) {
-    runOne(A, "breadth_first", A.ScheduleBreadthFirst, T, W, H, Iters,
-           &Rows);
-    runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
-    runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
+  if (Serve) {
+    for (App &A : Apps)
+      runServe(A, T, W, H, ServeClients, ServeFrames, &ServeRows);
+  } else {
+    for (App &A : Apps) {
+      runOne(A, "breadth_first", A.ScheduleBreadthFirst, T, W, H, Iters,
+             &Rows);
+      runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
+      runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
+    }
+    if (ThreadSweep)
+      runThreadsSweep(Apps, W, H, Iters, &Rows);
   }
-  if (ThreadSweep)
-    runThreadsSweep(Apps, W, H, Iters, &Rows);
 
   if (!JsonPath.empty()) {
     std::ofstream Json(JsonPath);
@@ -163,8 +278,12 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
       return 1;
     }
+    // host_threads records the runner's core count: baselines from
+    // different machines are not comparable, and the field makes that
+    // visible in the artifact instead of folklore.
     Json << "{\n  \"frame\": {\"width\": " << W << ", \"height\": " << H
-         << "},\n  \"iters\": " << Iters << ",\n  \"backend\": \""
+         << "},\n  \"iters\": " << Iters << ",\n  \"host_threads\": "
+         << std::thread::hardware_concurrency() << ",\n  \"backend\": \""
          << backendName(T.TargetBackend) << "\",\n  \"results\": [\n";
     for (size_t I = 0; I < Rows.size(); ++I) {
       const BenchRow &R = Rows[I];
@@ -174,8 +293,21 @@ int main(int Argc, char **Argv) {
            << ", \"ns_per_pixel\": " << R.NsPerPixel << "}"
            << (I + 1 < Rows.size() ? "," : "") << "\n";
     }
+    Json << "  ],\n  \"serve_results\": [\n";
+    for (size_t I = 0; I < ServeRows.size(); ++I) {
+      const ServeRow &R = ServeRows[I];
+      Json << "    {\"app\": \"" << R.App << "\", \"schedule\": \""
+           << R.Schedule << "\", \"backend\": \"" << R.BackendName
+           << "\", \"threads\": " << R.Threads
+           << ", \"clients\": " << R.Clients
+           << ", \"frames_per_client\": " << R.FramesPerClient
+           << ", \"fps\": " << R.Fps << ", \"p50_ms\": " << R.P50Ms
+           << ", \"p99_ms\": " << R.P99Ms << "}"
+           << (I + 1 < ServeRows.size() ? "," : "") << "\n";
+    }
     Json << "  ]\n}\n";
-    std::printf("wrote %zu rows to %s\n", Rows.size(), JsonPath.c_str());
+    std::printf("wrote %zu rows to %s\n", Rows.size() + ServeRows.size(),
+                JsonPath.c_str());
   }
   return 0;
 }

@@ -69,6 +69,42 @@ int CompiledPipeline::run(const ParamBindings &Params,
   return Rc;
 }
 
+namespace {
+
+/// Owns one compile's /tmp/hl_jit_XXXXXX scratch directory. The
+/// destructor removes the known artifacts and the directory on every
+/// exit path — concurrent serving compiles many pipelines, so leaked
+/// scratch dirs would otherwise accumulate per frame shape. keep()
+/// disarms the cleanup when the host compiler fails, preserving the
+/// generated source the error message points at.
+class JitTempDir {
+public:
+  JitTempDir() {
+    char Buf[] = "/tmp/hl_jit_XXXXXX";
+    user_assert(mkdtemp(Buf)) << "could not create JIT temp directory";
+    Dir = Buf;
+  }
+  ~JitTempDir() {
+    if (Kept)
+      return;
+    std::remove(path("pipeline.c").c_str());
+    std::remove(path("cc.log").c_str());
+    std::remove(path("pipeline.so").c_str());
+    rmdir(Dir.c_str());
+  }
+  JitTempDir(const JitTempDir &) = delete;
+  JitTempDir &operator=(const JitTempDir &) = delete;
+
+  std::string path(const char *Name) const { return Dir + "/" + Name; }
+  void keep() { Kept = true; }
+
+private:
+  std::string Dir;
+  bool Kept = false;
+};
+
+} // namespace
+
 std::shared_ptr<CompiledPipeline> halide::jitCompile(const LoweredPipeline &P,
                                                      const Target &T) {
   user_assert(T.usesJit()) << "jitCompile on an interpreter Target";
@@ -77,10 +113,9 @@ std::shared_ptr<CompiledPipeline> halide::jitCompile(const LoweredPipeline &P,
   std::string FnName = "hl_pipeline";
   Result->Source = codegenC(P, FnName);
 
-  char Dir[] = "/tmp/hl_jit_XXXXXX";
-  user_assert(mkdtemp(Dir)) << "could not create JIT temp directory";
-  std::string CPath = std::string(Dir) + "/pipeline.c";
-  std::string SoPath = std::string(Dir) + "/pipeline.so";
+  JitTempDir Temp;
+  std::string CPath = Temp.path("pipeline.c");
+  std::string SoPath = Temp.path("pipeline.so");
   {
     std::ofstream Out(CPath);
     Out << Result->Source;
@@ -93,16 +128,17 @@ std::shared_ptr<CompiledPipeline> halide::jitCompile(const LoweredPipeline &P,
   std::string Cmd = "cc -O3 -march=native -fno-math-errno "
                     "-ffp-contract=off -fPIC -shared " +
                     T.JitFlags + " -o " + SoPath + " " + CPath +
-                    " -lm 2> " + std::string(Dir) + "/cc.log";
+                    " -lm 2> " + Temp.path("cc.log");
   int Rc = std::system(Cmd.c_str());
   if (Rc != 0) {
     std::string Log;
     {
-      std::ifstream In(std::string(Dir) + "/cc.log");
+      std::ifstream In(Temp.path("cc.log"));
       std::string Line;
       while (std::getline(In, Line))
         Log += Line + "\n";
     }
+    Temp.keep();
     user_error << "host C compiler failed on generated code:\n"
                << Log << "\nsource left at " << CPath;
   }
@@ -114,10 +150,7 @@ std::shared_ptr<CompiledPipeline> halide::jitCompile(const LoweredPipeline &P,
       dlsym(Handle, FnName.c_str()));
   user_assert(Result->Fn) << "generated entry point not found";
 
-  // The artifacts can be removed once loaded; keep the source in memory.
-  std::remove(CPath.c_str());
-  std::remove((std::string(Dir) + "/cc.log").c_str());
-  std::remove(SoPath.c_str());
-  rmdir(Dir);
+  // The artifacts can be removed once loaded (Temp's destructor); the
+  // source stays in memory on the CompiledPipeline.
   return Result;
 }

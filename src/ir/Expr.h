@@ -77,7 +77,9 @@ constexpr IRNodeKind FirstStmtKind = IRNodeKind::LetStmt;
 /// Base class of all IR nodes.
 struct IRNode {
   const IRNodeKind Kind;
-  mutable int RefCount = 0;
+  /// Atomic: IR handles are copied across threads by concurrent realize()
+  /// and compile() calls (see IntrusivePtr in support/Util.h).
+  mutable std::atomic<int> RefCount{0};
 
   explicit IRNode(IRNodeKind Kind) : Kind(Kind) {}
   virtual ~IRNode() = default;

@@ -5,7 +5,9 @@
 #include "ir/IROperators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <set>
 
 using namespace halide;
@@ -13,13 +15,21 @@ using namespace halide;
 namespace {
 
 /// Live-function registry. Function names are made unique at construction,
-/// so lookups are unambiguous.
+/// so lookups are unambiguous. Guarded by registryMutex(): Funcs are
+/// constructed and destroyed on client threads (serving requests, test
+/// workers) while lowering on another thread resolves Call names.
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
 std::map<std::string, FunctionContents *> &registry() {
   static std::map<std::string, FunctionContents *> Table;
   return Table;
 }
 
 std::string registerUnique(const std::string &Base, FunctionContents *FC) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   std::string Name = Base;
   int Suffix = 1;
   while (registry().count(Name))
@@ -30,7 +40,10 @@ std::string registerUnique(const std::string &Base, FunctionContents *FC) {
 
 } // namespace
 
-FunctionContents::~FunctionContents() { registry().erase(Name); }
+FunctionContents::~FunctionContents() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  registry().erase(Name);
+}
 
 Function::Function(const std::string &Name) {
   internal_assert(!Name.empty()) << "Function with empty name";
@@ -38,7 +51,7 @@ Function::Function(const std::string &Name) {
       << "Function names may not contain '.': " << Name;
   FunctionContents *FC = new FunctionContents;
   FC->Name = registerUnique(Name, FC);
-  static int64_t NextId = 0;
+  static std::atomic<int64_t> NextId{0};
   FC->Id = ++NextId;
   C = IntrusivePtr<FunctionContents>(FC);
 }
@@ -181,6 +194,7 @@ Function Function::lookup(const std::string &Name) {
 }
 
 bool Function::tryLookup(const std::string &Name, Function *Out) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = registry().find(Name);
   if (It == registry().end())
     return false;

@@ -41,7 +41,9 @@ struct UpdateDefinition {
 /// name table (see Function.cpp) so Call nodes, which store only names, can
 /// be resolved back to functions when building the pipeline environment.
 struct FunctionContents {
-  mutable int RefCount = 0;
+  /// Atomic: Func handles are captured by in-flight async frames and
+  /// copied across threads (see IntrusivePtr in support/Util.h).
+  mutable std::atomic<int> RefCount{0};
 
   std::string Name;
   /// Process-unique serial number. Names are unique only among *live*

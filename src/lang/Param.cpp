@@ -3,6 +3,7 @@
 #include "lang/Param.h"
 
 #include <map>
+#include <mutex>
 
 using namespace halide;
 
@@ -12,6 +13,17 @@ namespace {
 /// lifetime (parameters are few and small); declarations are overwritten
 /// when a name is reused, so stale values from a discarded Param cannot
 /// leak into a new pipeline that reuses the name.
+///
+/// Guarded by registryMutex(): Param::set() on one thread races an
+/// in-flight realize() resolving bindings on another, so every access
+/// copies under the lock. Realize-time resolution goes further and takes
+/// one snapshot of the whole registry (snapshotParams), so a single frame
+/// never observes a half-applied group of set() calls.
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
 std::map<std::string, ParamValue> &paramRegistry() {
   static std::map<std::string, ParamValue> Registry;
   return Registry;
@@ -25,11 +37,13 @@ void halide::declareParam(const std::string &Name, Type DeclaredType,
   PV.DeclaredType = DeclaredType;
   PV.IsImage = IsImage;
   PV.Dimensions = Dimensions;
+  std::lock_guard<std::mutex> Lock(registryMutex());
   paramRegistry()[Name] = PV;
 }
 
 void halide::setParamValue(const std::string &Name, Type DeclaredType,
                            int64_t IntValue, double FloatValue) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = paramRegistry().find(Name);
   internal_assert(It != paramRegistry().end())
       << "set of undeclared param " << Name;
@@ -42,6 +56,7 @@ void halide::setParamValue(const std::string &Name, Type DeclaredType,
 }
 
 void halide::setParamImage(const std::string &Name, const RawBuffer &Image) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = paramRegistry().find(Name);
   internal_assert(It != paramRegistry().end() && It->second.IsImage)
       << "set of undeclared image param " << Name;
@@ -50,6 +65,7 @@ void halide::setParamImage(const std::string &Name, const RawBuffer &Image) {
 }
 
 void halide::clearParamValue(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = paramRegistry().find(Name);
   if (It == paramRegistry().end())
     return;
@@ -57,7 +73,16 @@ void halide::clearParamValue(const std::string &Name) {
   It->second.Image = RawBuffer();
 }
 
-const ParamValue *halide::findParam(const std::string &Name) {
+bool halide::getParamValue(const std::string &Name, ParamValue *Out) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
   auto It = paramRegistry().find(Name);
-  return It == paramRegistry().end() ? nullptr : &It->second;
+  if (It == paramRegistry().end())
+    return false;
+  *Out = It->second;
+  return true;
+}
+
+std::map<std::string, ParamValue> halide::snapshotParams() {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  return paramRegistry();
 }

@@ -22,6 +22,7 @@
 #include "ir/IROperators.h"
 #include "runtime/Buffer.h"
 
+#include <map>
 #include <string>
 
 namespace halide {
@@ -53,8 +54,18 @@ void setParamImage(const std::string &Name, const RawBuffer &Image);
 /// Clears a bound value but keeps the declaration.
 void clearParamValue(const std::string &Name);
 
-/// Looks up a declared parameter; null if the name was never declared.
-const ParamValue *findParam(const std::string &Name);
+/// Copies a declared parameter's current state into \p Out under the
+/// registry lock; false if the name was never declared. All registry
+/// accessors are thread-safe — set() during an in-flight realize() is
+/// well-defined (the frame sees either the old or the new value, decided
+/// by its per-realize snapshot, never a torn mix).
+bool getParamValue(const std::string &Name, ParamValue *Out);
+
+/// One consistent copy of the whole registry, taken under the lock.
+/// Pipeline::realize resolves every unbound argument from a single
+/// snapshot so a frame observes one coherent generation of bindings even
+/// while other threads keep calling set().
+std::map<std::string, ParamValue> snapshotParams();
 
 /// A scalar runtime parameter (the paper's uniforms). Symbolic in
 /// definitions; set() binds the value used by subsequent realizations.
@@ -89,10 +100,10 @@ private:
 };
 
 template <typename T> T Param<T>::get() const {
-  const ParamValue *PV = findParam(ParamName);
-  user_assert(PV && PV->HasValue)
+  ParamValue PV;
+  user_assert(getParamValue(ParamName, &PV) && PV.HasValue)
       << "Param " << ParamName << " read before set()";
-  return type().isFloat() ? T(PV->FloatValue) : T(PV->IntValue);
+  return type().isFloat() ? T(PV.FloatValue) : T(PV.IntValue);
 }
 
 } // namespace halide

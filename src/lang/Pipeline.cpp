@@ -5,7 +5,11 @@
 #include "analysis/CallGraph.h"
 #include "ir/IRPrinter.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 using namespace halide;
@@ -19,15 +23,92 @@ namespace {
 /// trivial and outstanding shared_ptrs keep in-use artifacts alive.
 constexpr size_t MaxCacheEntries = 256;
 
+/// A once-compile latch: the thread that inserts the slot produces the
+/// value OUTSIDE the cache lock, then flips Ready; concurrent requests
+/// for the same key wait on the slot instead of compiling again, and
+/// compiles of different keys never wait on each other — a slow JIT of
+/// one pipeline cannot serialize unrelated pipelines. Waiters hold the
+/// slot by shared_ptr, so wholesale eviction during a pending compile
+/// orphans the slot harmlessly rather than dangling it.
+template <typename ValueT> struct CacheSlot {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Ready = false;
+  ValueT Value{};
+
+  void publish(ValueT V) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Value = std::move(V);
+      Ready = true;
+    }
+    CV.notify_all();
+  }
+  ValueT await() {
+    std::unique_lock<std::mutex> Lock(M);
+    CV.wait(Lock, [&] { return Ready; });
+    return Value;
+  }
+};
+
+using LowerSlot = CacheSlot<std::shared_ptr<const LoweredPipeline>>;
+using ExecSlot = CacheSlot<std::shared_ptr<const Executable>>;
+
 struct CompileCache {
-  std::map<std::string, LoweredPipeline> Lowered;
-  std::map<std::string, std::shared_ptr<const Executable>> Executables;
-  CompileCounters Counters;
+  /// Guards the two maps. Counters are atomics so the hot path (a cache
+  /// hit) needs only this in shared mode.
+  std::shared_mutex Mutex;
+  std::map<std::string, std::shared_ptr<LowerSlot>> Lowered;
+  std::map<std::string, std::shared_ptr<ExecSlot>> Executables;
+  std::atomic<int64_t> Lowerings{0};
+  std::atomic<int64_t> BackendCompiles{0};
+  std::atomic<int64_t> CacheHits{0};
 };
 
 CompileCache &cache() {
   static CompileCache C;
   return C;
+}
+
+/// Serializes lowering itself. Lowering touches process-wide state that
+/// is individually locked but must be mutually consistent across a whole
+/// lowering (the Function registry, unique-name counters, shared IR
+/// construction), so two lowerings never interleave. Backend compiles
+/// (the cc subprocess, bytecode emission) happen outside this lock and do
+/// run concurrently.
+std::mutex &loweringMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Looks up Key's slot under a shared lock; on miss, inserts a fresh slot
+/// under an exclusive lock (evicting wholesale at capacity). Returns the
+/// slot and whether this caller created it (and so must fill it).
+template <typename SlotT>
+std::shared_ptr<SlotT>
+lookupOrCreateSlot(std::map<std::string, std::shared_ptr<SlotT>> &Map,
+                   const std::string &Key, bool *Created) {
+  CompileCache &C = cache();
+  {
+    std::shared_lock<std::shared_mutex> Lock(C.Mutex);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      *Created = false;
+      return It->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> Lock(C.Mutex);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    *Created = false;
+    return It->second;
+  }
+  if (Map.size() >= MaxCacheEntries)
+    Map.clear();
+  auto Slot = std::make_shared<SlotT>();
+  Map.emplace(Key, Slot);
+  *Created = true;
+  return Slot;
 }
 
 void appendDims(std::ostringstream &OS, const std::vector<Dim> &Dims) {
@@ -65,17 +146,24 @@ std::string Pipeline::scheduleFingerprint(const Target &T) const {
 }
 
 /// The lowered pipeline for \p LowerKey, lowering (and counting) on miss.
-const LoweredPipeline &Pipeline::cachedLowered(const std::string &LowerKey,
-                                               const Target &T) {
+/// A stampede of identical keys does exactly one lowering; the rest block
+/// on the slot's latch until it is published.
+std::shared_ptr<const LoweredPipeline>
+Pipeline::cachedLowered(const std::string &LowerKey, const Target &T) {
   CompileCache &C = cache();
-  auto LIt = C.Lowered.find(LowerKey);
-  if (LIt == C.Lowered.end()) {
-    ++C.Counters.Lowerings;
-    if (C.Lowered.size() >= MaxCacheEntries)
-      C.Lowered.clear();
-    LIt = C.Lowered.emplace(LowerKey, lower(Output.function(), T)).first;
+  bool Created = false;
+  std::shared_ptr<LowerSlot> Slot =
+      lookupOrCreateSlot(C.Lowered, LowerKey, &Created);
+  if (!Created)
+    return Slot->await();
+  C.Lowerings.fetch_add(1);
+  std::shared_ptr<const LoweredPipeline> LP;
+  {
+    std::lock_guard<std::mutex> Lock(loweringMutex());
+    LP = std::make_shared<const LoweredPipeline>(lower(Output.function(), T));
   }
-  return LIt->second;
+  Slot->publish(LP);
+  return LP;
 }
 
 std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
@@ -90,24 +178,24 @@ std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
                         "#" + T.JitFlags + "#t" +
                         std::to_string(T.NumThreads);
 
-  auto EIt = C.Executables.find(ExecKey);
-  if (EIt != C.Executables.end()) {
-    ++C.Counters.CacheHits;
-    return EIt->second;
+  bool Created = false;
+  std::shared_ptr<ExecSlot> Slot =
+      lookupOrCreateSlot(C.Executables, ExecKey, &Created);
+  if (!Created) {
+    C.CacheHits.fetch_add(1);
+    return Slot->await();
   }
 
-  const LoweredPipeline &LP = cachedLowered(LowerKey, T);
+  std::shared_ptr<const LoweredPipeline> LP = cachedLowered(LowerKey, T);
   if (T.compilesAheadOfRun())
-    ++C.Counters.BackendCompiles;
-  std::shared_ptr<const Executable> Exe = makeExecutable(LP, T);
-  if (C.Executables.size() >= MaxCacheEntries)
-    C.Executables.clear();
-  C.Executables[ExecKey] = Exe;
+    C.BackendCompiles.fetch_add(1);
+  std::shared_ptr<const Executable> Exe = makeExecutable(*LP, T);
+  Slot->publish(Exe);
   return Exe;
 }
 
 LoweredPipeline Pipeline::lowerPipeline(const Target &T) {
-  return cachedLowered(scheduleFingerprint(T), T);
+  return *cachedLowered(scheduleFingerprint(T), T);
 }
 
 std::string Pipeline::loweredText(const Target &T) {
@@ -139,15 +227,23 @@ std::vector<Argument> Pipeline::inferArguments(const Target &T) {
 namespace {
 
 /// Completes \p Full against the pipeline's signature: every buffer and
-/// scalar the caller did not bind explicitly is resolved from the
-/// Param<T>/ImageParam registry, with clear user_errors naming the
-/// argument on the unbound and type-mismatch paths.
-void bindInferredArguments(const LoweredPipeline &LP, ParamBindings *Full) {
+/// scalar the caller did not bind explicitly is resolved from \p Snap, a
+/// registry snapshot taken once per frame (so one frame never sees a
+/// half-updated registry when another thread is rebinding Params), with
+/// clear user_errors naming the argument on the unbound and type-mismatch
+/// paths.
+void bindInferredArguments(const LoweredPipeline &LP,
+                           const std::map<std::string, ParamValue> &Snap,
+                           ParamBindings *Full) {
+  auto lookup = [&Snap](const std::string &Name) -> const ParamValue * {
+    auto It = Snap.find(Name);
+    return It == Snap.end() ? nullptr : &It->second;
+  };
   for (const BufferArg &Arg : LP.Buffers) {
     if (!Full->hasBuffer(Arg.Name)) {
       user_assert(!Arg.IsOutput)
           << "output buffer '" << Arg.Name << "' is unbound";
-      const ParamValue *PV = findParam(Arg.Name);
+      const ParamValue *PV = lookup(Arg.Name);
       user_assert(PV && PV->HasValue)
           << "input image '" << Arg.Name
           << "' is unbound: call ImageParam::set(buffer) before realize, "
@@ -168,7 +264,7 @@ void bindInferredArguments(const LoweredPipeline &LP, ParamBindings *Full) {
     double Ignored;
     if (Full->lookupScalar(Arg.Name, &Ignored))
       continue; // bound explicitly
-    const ParamValue *PV = findParam(Arg.Name);
+    const ParamValue *PV = lookup(Arg.Name);
     user_assert(PV)
         << "scalar parameter '" << Arg.Name
         << "' is unbound: no Param with that name exists; construct a "
@@ -191,15 +287,16 @@ void bindInferredArguments(const LoweredPipeline &LP, ParamBindings *Full) {
 
 } // namespace
 
-ExecutionStats Pipeline::realize(RawBuffer Out, const ParamBindings &Params,
-                                 const Target &T) {
+ExecutionStats Pipeline::realizeWithSnapshot(
+    RawBuffer Out, const ParamBindings &Params,
+    const std::map<std::string, ParamValue> &ParamSnapshot, const Target &T) {
   user_assert(Out.defined()) << "realize into an undefined buffer";
   std::shared_ptr<const Executable> Exe = compile(T);
   const LoweredPipeline &LP = Exe->pipeline();
 
   ParamBindings Full = Params;
   Full.bind(LP.Name, Out);
-  bindInferredArguments(LP, &Full);
+  bindInferredArguments(LP, ParamSnapshot, &Full);
 
   ExecutionStats Stats;
   int Rc = Exe->run(Full, &Stats);
@@ -208,11 +305,45 @@ ExecutionStats Pipeline::realize(RawBuffer Out, const ParamBindings &Params,
   return Stats;
 }
 
-const CompileCounters &Pipeline::compileCounters() {
-  return cache().Counters;
+ExecutionStats Pipeline::realize(RawBuffer Out, const ParamBindings &Params,
+                                 const Target &T) {
+  return realizeWithSnapshot(Out, Params, snapshotParams(), T);
+}
+
+FrameFuture Pipeline::realizeAsync(RawBuffer Out, const ParamBindings &Params,
+                                   const Target &T, int Priority) {
+  user_assert(Out.defined()) << "realizeAsync into an undefined buffer";
+  FrameFuture Future;
+  Future.Stats = std::make_shared<ExecutionStats>();
+  // Snapshot the Param registry NOW: the frame sees the bindings as of
+  // submission no matter when a worker gets to it.
+  auto Snap = std::make_shared<std::map<std::string, ParamValue>>(
+      snapshotParams());
+  // The closure holds its own Func handle (a cheap intrusive-ptr copy), so
+  // the frame stays valid even if this Pipeline object dies first.
+  Func OutputCopy = Output;
+  std::shared_ptr<ExecutionStats> Stats = Future.Stats;
+  Future.Job = submitAsyncJob(
+      [OutputCopy, Out, Params, T, Snap, Stats]() mutable {
+        Pipeline P(OutputCopy);
+        *Stats = P.realizeWithSnapshot(Out, Params, *Snap, T);
+      },
+      Priority);
+  return Future;
+}
+
+CompileCounters Pipeline::compileCounters() {
+  CompileCache &C = cache();
+  CompileCounters Counters;
+  Counters.Lowerings = C.Lowerings.load();
+  Counters.BackendCompiles = C.BackendCompiles.load();
+  Counters.CacheHits = C.CacheHits.load();
+  return Counters;
 }
 
 void Pipeline::clearCompileCache() {
+  CompileCache &C = cache();
+  std::unique_lock<std::shared_mutex> Lock(C.Mutex);
   cache().Lowered.clear();
   cache().Executables.clear();
 }

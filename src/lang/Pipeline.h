@@ -15,6 +15,18 @@
 /// / ImageParam registry; name->value ParamBindings remain the internal
 /// ABI between Pipeline and the back ends.
 ///
+/// The cache and registry are safe to use from many threads at once: the
+/// cache is a shared_mutex-guarded map of per-entry once-compile latches
+/// (a stampede of identical compiles does one lowering and one backend
+/// compile while the rest wait, and a slow JIT of one pipeline never
+/// serializes compiles of unrelated ones), and each realize snapshots the
+/// Param registry once for a consistent per-frame view of its bindings.
+/// realizeAsync queues a frame as an async job on the task scheduler and
+/// returns a FrameFuture, which is what turns the library into a serving
+/// runtime: many in-flight frames share the worker pool under per-request
+/// priorities. Schedules must not be mutated while any frame of the
+/// pipeline is in flight.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HALIDE_LANG_PIPELINE_H
@@ -25,9 +37,11 @@
 #include "lang/Param.h"
 #include "lang/Target.h"
 #include "runtime/Runtime.h"
+#include "runtime/TaskScheduler.h"
 #include "runtime/Tracing.h"
 #include "transforms/Lower.h"
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +73,31 @@ struct CompileCounters {
   int64_t BackendCompiles = 0;
   /// compile() calls served entirely from the executable cache.
   int64_t CacheHits = 0;
+};
+
+/// Handle to one frame submitted with Pipeline::realizeAsync. Copyable;
+/// default-constructed futures are invalid. Failures inside the frame
+/// (unbound parameters, pipeline assertions) abort the process like a
+/// synchronous realize would — the future carries no error channel
+/// because this codebase has none (user_error aborts).
+class FrameFuture {
+public:
+  FrameFuture() = default;
+
+  bool valid() const { return Stats != nullptr; }
+  /// True once the frame has been fully realized.
+  bool done() const { return Job.done(); }
+  /// Blocks until the frame completes (helping the scheduler run other
+  /// queued work meanwhile) and returns the frame's ExecutionStats.
+  ExecutionStats wait() const {
+    Job.wait();
+    return *Stats;
+  }
+
+private:
+  friend class Pipeline;
+  AsyncJob Job;
+  std::shared_ptr<ExecutionStats> Stats;
 };
 
 /// A compile-once, run-many image processing pipeline.
@@ -112,19 +151,47 @@ public:
     return Out;
   }
 
+  /// Queues one frame on the task scheduler and returns immediately. The
+  /// frame compiles (through the cache) and runs on whichever thread picks
+  /// it up; higher \p Priority frames run first, ties in submission order.
+  /// The Param registry is snapshotted here, at submission — later set()
+  /// calls do not affect this frame. The caller must keep \p Out's
+  /// allocation alive until the future reports done, must not realize two
+  /// in-flight frames into the same buffer, and must not mutate the
+  /// pipeline's schedules while frames are in flight.
+  FrameFuture realizeAsync(RawBuffer Out,
+                           const ParamBindings &Params = ParamBindings(),
+                           const Target &T = Target(), int Priority = 0);
+
+  template <typename T>
+  FrameFuture realizeAsync(Buffer<T> &Out,
+                           const ParamBindings &Params = ParamBindings(),
+                           const Target &Tgt = Target(), int Priority = 0) {
+    return realizeAsync(Out.raw(), Params, Tgt, Priority);
+  }
+
   /// The cache key for the current schedules under \p T's feature flags:
   /// every stage's Schedule::str() (plus bounds and update-stage loop
   /// orders) concatenated with the Target's lowering options.
   std::string scheduleFingerprint(const Target &T = Target()) const;
 
-  /// Process-wide compile-cache statistics (tests assert on deltas).
-  static const CompileCounters &compileCounters();
+  /// Process-wide compile-cache statistics, read atomically (tests and
+  /// benchmarks assert on deltas; returned by value so callers get a
+  /// consistent snapshot rather than a reference into mutating state).
+  static CompileCounters compileCounters();
   /// Drops every cached lowered pipeline and executable (counters stay).
+  /// Safe against in-flight compiles: they finish into their latch slots,
+  /// which outstanding shared_ptrs keep alive.
   static void clearCompileCache();
 
 private:
-  const LoweredPipeline &cachedLowered(const std::string &LowerKey,
-                                       const Target &T);
+  std::shared_ptr<const LoweredPipeline>
+  cachedLowered(const std::string &LowerKey, const Target &T);
+
+  ExecutionStats realizeWithSnapshot(
+      RawBuffer Out, const ParamBindings &Params,
+      const std::map<std::string, ParamValue> &ParamSnapshot,
+      const Target &T);
 
   Func Output;
 };

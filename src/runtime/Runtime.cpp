@@ -1,6 +1,7 @@
 //===-- runtime/Runtime.cpp -----------------------------------------------------=//
 
 #include "runtime/Runtime.h"
+#include "runtime/BufferPool.h"
 #include "runtime/GpuSim.h"
 #include "runtime/TaskScheduler.h"
 
@@ -49,16 +50,9 @@ bool ParamBindings::lookupScalar(const std::string &Name, double *Out) const {
   return false;
 }
 
-void *halide::halideMalloc(int64_t Bytes) {
-  if (Bytes <= 0)
-    Bytes = 1;
-  void *Ptr = nullptr;
-  if (posix_memalign(&Ptr, 64, size_t(Bytes)) != 0)
-    return nullptr;
-  return Ptr;
-}
+void *halide::halideMalloc(int64_t Bytes) { return bufferPoolMalloc(Bytes); }
 
-void halide::halideFree(void *Ptr) { free(Ptr); }
+void halide::halideFree(void *Ptr) { bufferPoolFree(Ptr); }
 
 namespace {
 

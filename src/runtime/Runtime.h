@@ -90,7 +90,9 @@ struct RuntimeVTable {
 /// The global vtable instance (also used by the interpreter for parity).
 const RuntimeVTable *runtimeVTable();
 
-/// 16-byte-aligned heap allocation helpers.
+/// 64-byte-aligned heap allocation helpers. Backed by the process-wide
+/// buffer pool (runtime/BufferPool.h), so steady-state frame loops reuse
+/// blocks instead of hitting the system allocator.
 void *halideMalloc(int64_t Bytes);
 void halideFree(void *Ptr);
 

@@ -6,14 +6,31 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace halide;
 
+namespace halide {
+
+/// Shared completion state of one async job (the handle's pointee).
+struct AsyncJobState {
+  std::atomic<bool> Done{false};
+};
+
+} // namespace halide
+
 namespace {
+
+/// One queued async job: the closure plus its completion state.
+struct AsyncTask {
+  std::function<void()> Fn;
+  std::shared_ptr<AsyncJobState> State;
+};
 
 /// One parallel loop in flight. Lives on the submitter's stack: every
 /// chunk completes before parallelForChunks returns, so raw pointers to
@@ -82,6 +99,10 @@ public:
           void *Closure);
   void resize(int Threads);
 
+  std::shared_ptr<AsyncJobState> submitAsync(std::function<void()> Fn,
+                                             int Priority);
+  void waitAsync(const std::shared_ptr<AsyncJobState> &State);
+
   static thread_local int SlotIndex; ///< deque index; -1 = external thread
 
 private:
@@ -123,17 +144,55 @@ private:
   void workerLoop(int Index) {
     SlotIndex = Index;
     WorkItem W;
+    AsyncTask AT;
     while (true) {
+      // Chunk work from loops already in flight comes first: finishing
+      // running frames beats admitting queued ones.
       if (Deques[size_t(Index)]->popBottom(&W) || stealAny(Index, &W)) {
         execute(W);
         continue;
       }
+      if (takeAsync(&AT)) {
+        runAsyncTask(AT);
+        continue;
+      }
       std::unique_lock<std::mutex> Lock(StateMutex);
-      WorkCV.wait(Lock,
-                  [&] { return Stop || QueuedItems.load() > 0; });
+      WorkCV.wait(Lock, [&] {
+        return Stop || QueuedItems.load() > 0 || !AsyncQueue.empty();
+      });
       if (Stop)
         return;
     }
+  }
+
+  /// Pops the highest-priority queued async job (FIFO within a priority).
+  bool takeAsync(AsyncTask *T) {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (AsyncQueue.empty())
+      return false;
+    auto It = AsyncQueue.begin();
+    *T = std::move(It->second);
+    AsyncQueue.erase(It);
+    return true;
+  }
+
+  /// Runs one async job to completion on this thread and publishes the
+  /// result. The job's parallel loops count as nested submissions (InTask
+  /// is set), so they skip the top-level gate — the job itself is the unit
+  /// resize() waits on, via ActiveJobs.
+  void runAsyncTask(AsyncTask &T) {
+    const bool WasInTask = InTask;
+    InTask = true;
+    T.Fn();
+    InTask = WasInTask;
+    T.Fn = nullptr; // drop the closure before signalling completion
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    T.State->Done.store(true);
+    WorkCV.notify_all();
+    if (--ActiveJobs == 0)
+      ConfigCV.notify_all();
+    else if (Reconfiguring)
+      ConfigCV.notify_all(); // a draining resize re-checks the queue
   }
 
   /// Scans every deque once, starting after \p Home's (external threads
@@ -168,7 +227,11 @@ private:
   std::condition_variable WorkCV;   ///< work queued or a job completed
   std::condition_variable ConfigCV; ///< resize gate handshake
   std::atomic<int> QueuedItems{0};  ///< items sitting in deques
-  int ActiveJobs = 0;               ///< top-level loops in flight
+  /// Queued async jobs, ordered by (-Priority, submission sequence): the
+  /// map's first entry is always the next job to run.
+  std::map<std::pair<int, uint64_t>, AsyncTask> AsyncQueue;
+  uint64_t AsyncSeq = 0;
+  int ActiveJobs = 0; ///< top-level loops + async jobs in flight or queued
   int TotalThreads = 1;
   bool Stop = false;
   bool Reconfiguring = false;
@@ -268,13 +331,76 @@ int Scheduler::run(int64_t Min, int64_t Extent, int MaxTasks,
   return NumChunks;
 }
 
+std::shared_ptr<AsyncJobState> Scheduler::submitAsync(std::function<void()> Fn,
+                                                      int Priority) {
+  AsyncTask T;
+  T.Fn = std::move(Fn);
+  T.State = std::make_shared<AsyncJobState>();
+  std::shared_ptr<AsyncJobState> Handle = T.State;
+  {
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    // Hold new submissions at the resize gate, like top-level loops — but
+    // only for external threads; a submission from inside a task is
+    // already covered by its enclosing job's ActiveJobs count, and gating
+    // it could deadlock against a resize waiting for that very job.
+    if (SlotIndex < 0 && !InTask)
+      ConfigCV.wait(Lock, [&] { return !Reconfiguring; });
+    ++ActiveJobs; // queued jobs count as in flight until they complete
+    AsyncQueue.emplace(std::make_pair(-Priority, AsyncSeq++), std::move(T));
+    WorkCV.notify_all();
+    ConfigCV.notify_all(); // a draining resize must see the new job
+  }
+  return Handle;
+}
+
+void Scheduler::waitAsync(const std::shared_ptr<AsyncJobState> &State) {
+  const int Home = SlotIndex;
+  WorkItem W;
+  AsyncTask AT;
+  while (!State->Done.load()) {
+    // Help instead of idling: chunk work first (it makes running frames
+    // finish, possibly the very one we wait for), then queued jobs. This
+    // is what makes submit-then-wait safe on a one-thread pool.
+    if ((Home >= 0 ? Deques[size_t(Home)]->popBottom(&W)
+                   : Deques.back()->popBottom(&W)) ||
+        stealAny(Home, &W)) {
+      execute(W);
+      continue;
+    }
+    if (takeAsync(&AT)) {
+      runAsyncTask(AT);
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    WorkCV.wait(Lock, [&] {
+      return State->Done.load() || QueuedItems.load() > 0 ||
+             !AsyncQueue.empty();
+    });
+  }
+}
+
 void Scheduler::resize(int Threads) {
   std::unique_lock<std::mutex> Lock(StateMutex);
   // One resize at a time; wait out any loop that is already running (new
   // top-level loops queue behind the Reconfiguring gate).
   ConfigCV.wait(Lock, [&] { return !Reconfiguring; });
   Reconfiguring = true;
-  ConfigCV.wait(Lock, [&] { return ActiveJobs == 0; });
+  // Drain in-flight work. Queued async jobs may never be picked up (the
+  // workers could all be asleep on a one-thread pool, where there are no
+  // workers at all), so execute them here rather than waiting forever.
+  while (ActiveJobs != 0) {
+    if (!AsyncQueue.empty()) {
+      auto It = AsyncQueue.begin();
+      AsyncTask T = std::move(It->second);
+      AsyncQueue.erase(It);
+      Lock.unlock();
+      runAsyncTask(T);
+      Lock.lock();
+      continue;
+    }
+    ConfigCV.wait(Lock,
+                  [&] { return ActiveJobs == 0 || !AsyncQueue.empty(); });
+  }
   Lock.unlock();
   stopWorkers();
   Lock.lock();
@@ -319,4 +445,19 @@ void halide::setTaskSchedulerThreads(int Threads) {
 
 bool halide::inTaskWorker() {
   return Scheduler::SlotIndex >= 0 || Scheduler::InTask;
+}
+
+bool AsyncJob::done() const {
+  return State && State->Done.load();
+}
+
+void AsyncJob::wait() const {
+  if (State)
+    Scheduler::instance().waitAsync(State);
+}
+
+AsyncJob halide::submitAsyncJob(std::function<void()> Fn, int Priority) {
+  AsyncJob Handle;
+  Handle.State = Scheduler::instance().submitAsync(std::move(Fn), Priority);
+  return Handle;
 }

@@ -26,6 +26,8 @@
 #define HALIDE_RUNTIME_TASKSCHEDULER_H
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 namespace halide {
 
@@ -69,6 +71,49 @@ void setTaskSchedulerThreads(int Threads);
 /// executing a task chunk (used to decide top-level vs nested submission;
 /// exposed for tests).
 bool inTaskWorker();
+
+//===----------------------------------------------------------------------===//
+// Async jobs: whole units of work (a frame's realize) queued on the same
+// pool that runs parallel-loop chunks. This is what turns the scheduler
+// from "one parallel loop at a time" into a multi-tenant serving runtime:
+// many in-flight frames coexist, each fanning its own loops out as chunks,
+// and idle workers pick the highest-priority queued frame next.
+//===----------------------------------------------------------------------===//
+
+struct AsyncJobState; // opaque; defined in TaskScheduler.cpp
+
+/// Handle to a submitted async job. Copyable; default-constructed handles
+/// are invalid. The job's closure runs exactly once, on whichever thread
+/// picks it up (a pool worker, a thread blocked in wait(), or a resize
+/// draining the queue).
+class AsyncJob {
+public:
+  AsyncJob() = default;
+
+  bool valid() const { return State != nullptr; }
+  /// True once the job's closure has finished running.
+  bool done() const;
+  /// Blocks until the job completes. The waiting thread does not idle: it
+  /// executes queued parallel-loop chunks and other queued async jobs
+  /// while it waits, so frames complete even on a single-threaded pool
+  /// (and submit-then-wait never deadlocks).
+  void wait() const;
+
+private:
+  friend AsyncJob submitAsyncJob(std::function<void()> Fn, int Priority);
+  std::shared_ptr<AsyncJobState> State;
+};
+
+/// Queues \p Fn on the scheduler. Higher \p Priority runs first when a
+/// thread picks its next job; ties run in submission order (FIFO). Chunk
+/// work from already-running loops always takes precedence over starting
+/// a new job — finishing in-flight frames beats admitting new ones.
+/// The closure may freely call parallelForChunks (that is the point: a
+/// frame's parallel loops nest inside its job). It must not call
+/// setTaskSchedulerThreads. Jobs count as in-flight work: a concurrent
+/// resize drains them (executing queued ones itself if need be) before
+/// rebuilding the pool.
+AsyncJob submitAsyncJob(std::function<void()> Fn, int Priority = 0);
 
 } // namespace halide
 

@@ -5,6 +5,7 @@
 #include "autotune/ScheduleSpace.h"
 #include "codegen/Executable.h"
 #include "ir/IROperators.h"
+#include "runtime/TaskScheduler.h"
 
 #include <cmath>
 #include <cstdlib>
@@ -37,6 +38,15 @@ int diffThreadedVmThreads(const DiffOptions &Opts) {
   if (Env && *Env)
     return std::atoi(Env);
   return Opts.ThreadedVmThreads;
+}
+
+/// Concurrent-leg frame count: HALIDE_DIFF_CONCURRENT wins over the
+/// option so CI can widen (or disable) the serving check per job.
+int diffConcurrentFrames(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_CONCURRENT");
+  if (Env && *Env)
+    return std::atoi(Env);
+  return Opts.ConcurrentFrames;
 }
 
 /// Renders the stats fields the determinism contract covers, for
@@ -280,6 +290,19 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
   const Target ExecSerial =
       DiffThreads > 1 ? Exec.withThreads(1) : Exec;
 
+  // The concurrent-serving leg retains the first few schedules' compiled
+  // executables, sequential outputs, and stats; after the sweep they all
+  // run again simultaneously and must reproduce those results exactly.
+  struct ConcurrentCase {
+    std::string Desc;
+    std::shared_ptr<const Executable> Exe;
+    std::shared_ptr<void> KeepOut;
+    RawBuffer SerialOut;
+    ExecutionStats SerialStats;
+  };
+  const int NumConcurrent = diffConcurrentFrames(Opts);
+  std::vector<ConcurrentCase> Cases;
+
   int ScheduleIndex = 0;
   for (const Genome &G : Space.deterministicSample(Opts.ScheduleCount,
                                                    Opts.Seed)) {
@@ -302,6 +325,15 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
                                 "pipeline returned " + std::to_string(Rc)});
       else if (!buffersMatch(Ref, OutExec, Opts.FloatTolerance, 0, &Detail))
         R.Mismatches.push_back({Desc, ExecName + " vs reference", Detail});
+      else if (int(Cases.size()) < NumConcurrent) {
+        ConcurrentCase CC;
+        CC.Desc = Desc;
+        CC.Exe = makeExecutable(P, ExecSerial);
+        CC.KeepOut = KeepExec;
+        CC.SerialOut = OutExec;
+        CC.SerialStats = SerialStats;
+        Cases.push_back(std::move(CC));
+      }
     }
 
     if (DiffThreads > 1) {
@@ -365,6 +397,61 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
     }
     ++R.SchedulesRun;
     ++ScheduleIndex;
+  }
+
+  // The concurrent-serving leg: every retained executable runs again as
+  // an async job, all in flight at once on the shared task scheduler with
+  // mixed priorities — the serving runtime's configuration. Each frame
+  // must reproduce its sequential run bit for bit (zero tolerance) with
+  // identical merged ExecutionStats: concurrency must be invisible in the
+  // results.
+  if (Cases.size() > 1) {
+    struct Frame {
+      std::shared_ptr<void> Keep;
+      RawBuffer Out;
+      ExecutionStats Stats;
+      int Rc = 0;
+    };
+    std::vector<Frame> Frames(Cases.size());
+    std::vector<ParamBindings> Bindings(Cases.size());
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      Frames[I].Out = makeAppOutput(A, W, H, &Frames[I].Keep);
+      Bindings[I] = Inputs;
+      Bindings[I].bind(A.Output.name(), Frames[I].Out);
+    }
+    std::vector<AsyncJob> Jobs;
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      const Executable *Exe = Cases[I].Exe.get();
+      const ParamBindings *PB = &Bindings[I];
+      Frame *F = &Frames[I];
+      Jobs.push_back(
+          submitAsyncJob([Exe, PB, F] { F->Rc = Exe->run(*PB, &F->Stats); },
+                         /*Priority=*/int(I % 3)));
+    }
+    for (const AsyncJob &J : Jobs)
+      J.wait();
+    for (size_t I = 0; I < Cases.size(); ++I) {
+      const ConcurrentCase &CC = Cases[I];
+      const Frame &F = Frames[I];
+      std::string Detail;
+      if (F.Rc != 0)
+        R.Mismatches.push_back(
+            {CC.Desc, "concurrent " + ExecName + " exit code",
+             "pipeline returned " + std::to_string(F.Rc)});
+      else if (!buffersMatch(CC.SerialOut, F.Out, 0.0, 0, &Detail))
+        R.Mismatches.push_back(
+            {CC.Desc, "concurrent vs sequential " + ExecName, Detail});
+      else if (F.Stats.StoresPerBuffer != CC.SerialStats.StoresPerBuffer ||
+               F.Stats.LoadsPerBuffer != CC.SerialStats.LoadsPerBuffer ||
+               F.Stats.PeakAllocationBytes !=
+                   CC.SerialStats.PeakAllocationBytes ||
+               F.Stats.ParallelIterations !=
+                   CC.SerialStats.ParallelIterations)
+        R.Mismatches.push_back(
+            {CC.Desc, "concurrent vs sequential " + ExecName + " stats",
+             "sequential {" + statsSummary(CC.SerialStats) +
+                 "} concurrent {" + statsSummary(F.Stats) + "}"});
+    }
   }
   return R;
 }

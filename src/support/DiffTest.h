@@ -19,7 +19,11 @@
 /// every sampled schedule is checked serial-vs-parallel: the threaded VM
 /// must reproduce the serial VM's output bit-for-bit with identical
 /// merged ExecutionStats (DiffOptions::ThreadedVmThreads /
-/// HALIDE_DIFF_THREADS).
+/// HALIDE_DIFF_THREADS). A final concurrency leg re-runs the first few
+/// schedules' executables as simultaneous async jobs on the task
+/// scheduler — the serving configuration — and requires every frame to
+/// be bit-identical (output and merged stats) to its sequential run
+/// (DiffOptions::ConcurrentFrames / HALIDE_DIFF_CONCURRENT).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -90,6 +94,14 @@ struct DiffOptions {
   /// effective worker count is still bounded by the task scheduler's
   /// pool size (HALIDE_NUM_THREADS / hardware concurrency).
   int ThreadedVmThreads = 4;
+  /// The concurrent-serving leg: the first this-many sampled schedules'
+  /// executables are re-run as simultaneous async jobs sharing the task
+  /// scheduler (mixed priorities), and every frame's output and merged
+  /// ExecutionStats must be bit-identical to that schedule's sequential
+  /// run — concurrency must be invisible in the results. 0 disables. The
+  /// HALIDE_DIFF_CONCURRENT environment variable overrides it
+  /// process-wide (0 to disable).
+  int ConcurrentFrames = 4;
   /// Also push every schedule through the C backend (compile + dlopen).
   bool RunCodeGenC = true;
   /// Host-compiler flags for the C backend. -O0 because this harness

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 using namespace halide;
 
@@ -24,8 +25,14 @@ ErrorReport::~ErrorReport() {
 }
 
 namespace {
-/// Per-prefix counters for uniqueName. Function-local static avoids a global
-/// static constructor.
+/// Per-prefix counters for uniqueName, lock-guarded (concurrent serving
+/// clients construct Funcs/Params/Vars from their own threads). A
+/// function-local static avoids a global static constructor.
+std::mutex &nameCountersMutex() {
+  static std::mutex M;
+  return M;
+}
+
 std::map<std::string, int> &nameCounters() {
   static std::map<std::string, int> Counters;
   return Counters;
@@ -33,11 +40,15 @@ std::map<std::string, int> &nameCounters() {
 } // namespace
 
 std::string halide::uniqueName(const std::string &Prefix) {
+  std::lock_guard<std::mutex> Lock(nameCountersMutex());
   int Count = nameCounters()[Prefix]++;
   return Prefix + std::to_string(Count);
 }
 
-void halide::resetUniqueNameCounters() { nameCounters().clear(); }
+void halide::resetUniqueNameCounters() {
+  std::lock_guard<std::mutex> Lock(nameCountersMutex());
+  nameCounters().clear();
+}
 
 bool halide::startsWith(const std::string &Str, const std::string &Prefix) {
   return Str.size() >= Prefix.size() &&

@@ -15,6 +15,7 @@
 #ifndef HALIDE_SUPPORT_UTIL_H
 #define HALIDE_SUPPORT_UTIL_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <sstream>
@@ -72,8 +73,10 @@ public:
 namespace halide {
 
 /// Returns a process-unique name derived from \p Prefix, used for
-/// compiler-generated variables and functions. Thread-compatible: lowering
-/// runs single-threaded.
+/// compiler-generated variables and functions. Thread-safe: the counters
+/// are lock-guarded so concurrent front-end construction (serving clients
+/// declaring Params, tests building pipelines on worker threads) cannot
+/// mint duplicate names.
 std::string uniqueName(const std::string &Prefix);
 
 /// Resets the unique-name counters. Only tests should call this, to make
@@ -94,10 +97,15 @@ std::string replaceAll(std::string Str, const std::string &From,
                        const std::string &To);
 
 /// Intrusively reference-counted smart pointer, in the style of
-/// llvm::IntrusiveRefCntPtr. The pointee exposes a mutable `RefCount` int.
-/// Refcounting is not atomic: IR construction and transformation run on a
-/// single thread; only execution of compiled pipelines is parallel, and
-/// compiled pipelines do not touch the IR.
+/// llvm::IntrusiveRefCntPtr. The pointee exposes a mutable
+/// `std::atomic<int> RefCount`. Refcounting is atomic because handles to
+/// shared IR cross threads in the serving runtime: concurrent realize()
+/// calls copy LoweredPipeline (and the Func/Expr handles inside it), and
+/// two backend compiles of the same Func walk lowered trees that share
+/// subtrees with the original definition — a plain int count corrupts
+/// under that interleaving. Structural *mutation* of IR is still
+/// single-threaded-per-tree (lowering is serialized; executing pipelines
+/// never mutate IR), so only the counts need atomicity, not the nodes.
 template <typename T> class IntrusivePtr {
 public:
   IntrusivePtr() = default;
@@ -113,7 +121,8 @@ public:
     T *OldPtr = Ptr;
     Ptr = Other.Ptr;
     incref();
-    if (OldPtr && --OldPtr->RefCount == 0)
+    if (OldPtr &&
+        OldPtr->RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
       delete OldPtr;
     return *this;
   }
@@ -132,8 +141,11 @@ public:
 
 private:
   void incref() {
+    // Relaxed is enough for an increment: the thread already holds a live
+    // reference (directly or through the handle it is copying from), so
+    // the count cannot concurrently reach zero.
     if (Ptr)
-      ++Ptr->RefCount;
+      Ptr->RefCount.fetch_add(1, std::memory_order_relaxed);
   }
   // GCC 12 reports a spurious -Wuse-after-free here when decref is inlined
   // into loops over containers of IntrusivePtr (it conflates the pointer
@@ -143,9 +155,12 @@ private:
 #pragma GCC diagnostic ignored "-Wuse-after-free"
 #endif
   void decref() {
+    // Acquire/release so every access through a dying reference
+    // happens-before the delete that another thread's final decrement may
+    // perform.
     T *Dead = Ptr;
     Ptr = nullptr;
-    if (Dead && --Dead->RefCount == 0)
+    if (Dead && Dead->RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
       delete Dead;
   }
 #if defined(__GNUC__) && !defined(__clang__)

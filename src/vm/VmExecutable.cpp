@@ -122,15 +122,30 @@ struct VmContext {
   StatsShard Shard;
 };
 
-/// Per-worker context freelist: task chunks on the same worker reuse the
-/// same backing storage instead of reallocating register files per chunk.
+/// Per-worker context freelist: task chunks (and whole frames) on the
+/// same thread reuse the same backing storage instead of reallocating
+/// register files per chunk or per frame.
 thread_local std::vector<std::unique_ptr<VmContext>> ContextPool;
+
+std::unique_ptr<VmContext> acquireContext() {
+  if (!ContextPool.empty()) {
+    std::unique_ptr<VmContext> C = std::move(ContextPool.back());
+    ContextPool.pop_back();
+    return C;
+  }
+  return std::make_unique<VmContext>();
+}
+
+void releaseContext(std::unique_ptr<VmContext> C) {
+  if (ContextPool.size() < 8)
+    ContextPool.push_back(std::move(C));
+}
 
 /// One program execution. Owns nothing; borrows the program and fans task
 /// chunks out to the task scheduler.
 class Runner {
 public:
-  Runner(const VmProgram &Prog, const std::vector<ElemKind> &Kinds,
+  Runner(const VmProgram &Prog, const std::vector<uint8_t> &Kinds,
          int Threads)
       : Prog(Prog), Kinds(Kinds), Threads(Threads) {}
 
@@ -147,7 +162,7 @@ private:
                         int64_t Extent) const;
 
   const VmProgram &Prog;
-  const std::vector<ElemKind> &Kinds;
+  const std::vector<uint8_t> &Kinds; ///< ElemKind per buffer slot
   const int Threads; ///< effective thread request (>= 1)
 };
 
@@ -281,7 +296,7 @@ void Runner::exec(VmContext &C, size_t PC) const {
       RtBuf &B = C.Bufs[size_t(In.Aux)];
       C.Shard.Loads[size_t(In.Aux)] += L;
       const void *Base = B.Data;
-      switch (Kinds[size_t(In.Aux)]) {
+      switch (ElemKind(Kinds[size_t(In.Aux)])) {
 #define VM_LOAD(KIND, CTYPE, FIELD, CONV)                                      \
   case ElemKind::KIND:                                                         \
     for (int I = 0; I < L; ++I) {                                              \
@@ -308,7 +323,7 @@ void Runner::exec(VmContext &C, size_t PC) const {
       RtBuf &B = C.Bufs[size_t(In.Aux)];
       C.Shard.Stores[size_t(In.Aux)] += L;
       void *Base = B.Data;
-      switch (Kinds[size_t(In.Aux)]) {
+      switch (ElemKind(Kinds[size_t(In.Aux)])) {
 #define VM_STORE(KIND, CTYPE, FIELD)                                           \
   case ElemKind::KIND:                                                         \
     for (int I = 0; I < L; ++I) {                                              \
@@ -519,6 +534,9 @@ void vmRunParChunk(int64_t Begin, int64_t End, int Chunk, void *Closure) {
 VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
     : Executable(std::move(LP), std::move(T)) {
   Prog = compileToBytecode(P);
+  BufKinds.reserve(Prog.Buffers.size());
+  for (const VmBufferDesc &Desc : Prog.Buffers)
+    BufKinds.push_back(uint8_t(elemKindOf(Desc.ElemType)));
 }
 
 std::shared_ptr<const VmExecutable> halide::vmCompile(
@@ -530,16 +548,17 @@ int VmExecutable::run(const ParamBindings &Params,
                       ExecutionStats *Stats) const {
   // Root context: the register file starts from the compiled template
   // (constants pre-materialized), buffers and scalar params are resolved
-  // from the bindings once, up front.
-  VmContext Root;
+  // from the bindings once, up front. Contexts come from the per-thread
+  // pool, so a steady-state frame loop reuses the same register file and
+  // buffer table instead of reallocating them every frame.
+  std::unique_ptr<VmContext> RootPtr = acquireContext();
+  VmContext &Root = *RootPtr;
   Root.Regs = Prog.InitialRegs;
 
   const size_t NumBufs = Prog.Buffers.size();
-  Root.Bufs.resize(NumBufs);
-  std::vector<ElemKind> Kinds(NumBufs);
+  Root.Bufs.assign(NumBufs, RtBuf{});
   for (size_t BI = 0; BI < NumBufs; ++BI) {
     const VmBufferDesc &Desc = Prog.Buffers[BI];
-    Kinds[BI] = elemKindOf(Desc.ElemType);
     if (!Desc.IsBoundary)
       continue;
     const RawBuffer &Raw = Params.buffer(Desc.Name);
@@ -573,7 +592,7 @@ int VmExecutable::run(const ParamBindings &Params,
 
   const int Threads =
       T.NumThreads > 0 ? T.NumThreads : taskSchedulerThreads();
-  Runner R(Prog, Kinds, Threads < 1 ? 1 : Threads);
+  Runner R(Prog, BufKinds, Threads < 1 ? 1 : Threads);
   R.exec(Root, 0);
 
   if (Stats) {
@@ -589,5 +608,6 @@ int VmExecutable::run(const ParamBindings &Params,
     }
     *Stats = std::move(S);
   }
+  releaseContext(std::move(RootPtr));
   return 0;
 }

@@ -23,7 +23,10 @@
 #include "codegen/Executable.h"
 #include "vm/Bytecode.h"
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 namespace halide {
 
@@ -46,10 +49,10 @@ public:
 
   /// The disassembled bytecode (the VM's "generated source"), produced
   /// on first request: the compile path that feeds the schedule sweeps
-  /// never pays for formatting a listing nobody reads.
+  /// never pays for formatting a listing nobody reads. Cached executables
+  /// are shared across threads, so the lazy fill is a call_once.
   const std::string &source() const override {
-    if (Listing.empty())
-      Listing = Prog.disassemble();
+    std::call_once(ListingOnce, [this] { Listing = Prog.disassemble(); });
     return Listing;
   }
 
@@ -57,6 +60,10 @@ public:
 
 private:
   VmProgram Prog;
+  /// Per-buffer element kinds (vm/VmExecutable.cpp's ElemKind), computed
+  /// at compile time so runs do not rebuild the table per frame.
+  std::vector<uint8_t> BufKinds;
+  mutable std::once_flag ListingOnce;
   mutable std::string Listing;
 };
 
