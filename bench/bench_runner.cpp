@@ -19,15 +19,28 @@
 // the rows report aggregate frames/sec plus p50/p99 per-frame latency —
 // the serving trajectory rather than the single-frame one.
 //
+// Observability (see README's Observability section): --profile compiles
+// with Target::Profile and prints the per-stage profiler report plus the
+// unified metrics snapshot after the runs; --trace <path> records a
+// Chrome trace-event JSON of the whole bench (load it in
+// chrome://tracing or https://ui.perfetto.dev). --app <name> restricts
+// the run to one registered app. Requesting more --threads than the host
+// has cores warns and is recorded in the JSON baseline
+// (threads_oversubscribed), since such rows time contention, not speedup.
+//
 // Usage: bench_runner [--backend interp|vm|jit|gpu] [--threads N]
 //                     [--json <path>] [--width W] [--height H]
-//                     [--iters N] [--no-thread-sweep]
+//                     [--iters N] [--no-thread-sweep] [--app <name>]
 //                     [--serve] [--serve-clients N] [--serve-frames M]
+//                     [--profile] [--trace <path>]
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
 #include "metrics/ScheduleMetrics.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Profiler.h"
+#include "observe/TraceRecorder.h"
 #include "runtime/TaskScheduler.h"
 #include "support/DiffTest.h"
 
@@ -203,6 +216,9 @@ int main(int Argc, char **Argv) {
   bool ThreadSweep = true;
   bool Serve = false;
   int ServeClients = 4, ServeFrames = 16;
+  bool Profile = false;
+  std::string TracePath;
+  std::string AppFilter;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     std::string BackendText;
@@ -238,38 +254,95 @@ int main(int Argc, char **Argv) {
       ServeClients = std::atoi(Argv[++I]);
     else if (Arg == "--serve-frames" && I + 1 < Argc)
       ServeFrames = std::atoi(Argv[++I]);
+    else if (Arg == "--profile")
+      Profile = true;
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TracePath = Arg.substr(std::strlen("--trace="));
+    else if (Arg == "--trace" && I + 1 < Argc)
+      TracePath = Argv[++I];
+    else if (Arg.rfind("--app=", 0) == 0)
+      AppFilter = Arg.substr(std::strlen("--app="));
+    else if (Arg == "--app" && I + 1 < Argc)
+      AppFilter = Argv[++I];
     else {
       std::fprintf(stderr,
                    "usage: %s [--backend interp|vm|jit|gpu] [--threads N] "
                    "[--json <path>] [--width W] [--height H] [--iters N] "
-                   "[--no-thread-sweep] [--serve] [--serve-clients N] "
-                   "[--serve-frames M]\n",
+                   "[--no-thread-sweep] [--app <name>] [--serve] "
+                   "[--serve-clients N] [--serve-frames M] [--profile] "
+                   "[--trace <path>]\n",
                    Argv[0]);
       return 2;
     }
   }
 
+  const int HostThreads = int(std::thread::hardware_concurrency());
+  const bool Oversubscribed =
+      Threads > 0 && HostThreads > 0 && Threads > HostThreads;
+  if (Oversubscribed)
+    std::fprintf(stderr,
+                 "warning: --threads %d exceeds this host's %d hardware "
+                 "threads; rows will time scheduling contention, not "
+                 "parallel speedup\n",
+                 Threads, HostThreads);
+
   if (Threads > 0) {
     setTaskSchedulerThreads(Threads);
     T = T.withThreads(Threads);
+  }
+  if (Profile) {
+    setProfilerEnabled(true);
+    T = T.withProfile();
+  }
+  if (!TracePath.empty()) {
+    traceSetThreadName("main");
+    traceStart();
   }
 
   std::vector<BenchRow> Rows;
   std::vector<ServeRow> ServeRows;
   std::vector<App> Apps = paperApps();
   Apps.push_back(makeHistogramEqualizeApp());
-  if (Serve) {
+  if (!AppFilter.empty()) {
+    bool Known = false;
     for (App &A : Apps)
+      Known = Known || A.Name == AppFilter;
+    if (!Known) {
+      std::fprintf(stderr, "unknown app '%s'\n", AppFilter.c_str());
+      return 2;
+    }
+  }
+  if (Serve) {
+    for (App &A : Apps) {
+      if (!AppFilter.empty() && A.Name != AppFilter)
+        continue;
       runServe(A, T, W, H, ServeClients, ServeFrames, &ServeRows);
+    }
   } else {
     for (App &A : Apps) {
+      if (!AppFilter.empty() && A.Name != AppFilter)
+        continue;
       runOne(A, "breadth_first", A.ScheduleBreadthFirst, T, W, H, Iters,
              &Rows);
       runOne(A, "tuned", A.ScheduleTuned, T, W, H, Iters, &Rows);
       runOne(A, "gpu_sim", A.ScheduleGpu, T, W, H, Iters, &Rows);
     }
-    if (ThreadSweep)
+    if (ThreadSweep && AppFilter.empty())
       runThreadsSweep(Apps, W, H, Iters, &Rows);
+  }
+
+  if (!TracePath.empty()) {
+    traceStop();
+    if (traceWriteFile(TracePath))
+      std::printf("wrote trace to %s\n", TracePath.c_str());
+    else {
+      std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+  }
+  if (Profile) {
+    std::printf("\n%s\n", profilerReport().str().c_str());
+    std::printf("%s", metricsSnapshot().str().c_str());
   }
 
   if (!JsonPath.empty()) {
@@ -283,7 +356,9 @@ int main(int Argc, char **Argv) {
     // visible in the artifact instead of folklore.
     Json << "{\n  \"frame\": {\"width\": " << W << ", \"height\": " << H
          << "},\n  \"iters\": " << Iters << ",\n  \"host_threads\": "
-         << std::thread::hardware_concurrency() << ",\n  \"backend\": \""
+         << std::thread::hardware_concurrency()
+         << ",\n  \"threads_oversubscribed\": "
+         << (Oversubscribed ? "true" : "false") << ",\n  \"backend\": \""
          << backendName(T.TargetBackend) << "\",\n  \"results\": [\n";
     for (size_t I = 0; I < Rows.size(); ++I) {
       const BenchRow &R = Rows[I];

@@ -4,6 +4,7 @@
 
 #include "codegen/Interpreter.h"
 #include "codegen/Jit.h"
+#include "transforms/InjectProfiling.h"
 #include "vm/VmExecutable.h"
 
 using namespace halide;
@@ -36,6 +37,18 @@ public:
 
 std::shared_ptr<const Executable> halide::makeExecutable(
     const LoweredPipeline &P, const Target &T) {
+  // Profiling instrumentation happens here, after the lowering cache: a
+  // profile-on target gets a marker-bracketed copy of the shared lowered
+  // pipeline, so the lowering fingerprint never changes and profile-off
+  // executables are built from byte-identical IR.
+  if (T.Profile) {
+    LoweredPipeline Instrumented = injectProfiling(P);
+    if (T.TargetBackend == Backend::Interpreter)
+      return std::make_shared<InterpretedPipeline>(std::move(Instrumented), T);
+    if (T.TargetBackend == Backend::VmBytecode)
+      return vmCompile(Instrumented, T);
+    return jitCompile(Instrumented, T);
+  }
   if (T.TargetBackend == Backend::Interpreter)
     return std::make_shared<InterpretedPipeline>(P, T);
   if (T.TargetBackend == Backend::VmBytecode)

@@ -4,6 +4,7 @@
 #include "analysis/Scope.h"
 #include "ir/IROperators.h"
 #include "ir/IRPrinter.h"
+#include "observe/Profiler.h"
 
 #include <cmath>
 #include <cstring>
@@ -401,6 +402,20 @@ private:
     if (Op->CallKind == CallType::Intrinsic) {
       if (Op->Name == Call::TracePoint)
         return Value::intVal(Int(32), 0);
+      if (Op->Name == Call::ProfileStageStart ||
+          Op->Name == Call::ProfileStageEnd) {
+        // Reference path: re-intern the stage name per event (the VM and
+        // JIT pre-resolve ids at compile time; the interpreter favors
+        // simplicity over speed).
+        const StringImm *Stage = Op->Args.at(0).as<StringImm>();
+        internal_assert(Stage) << "profile marker without stage name";
+        int Id = profilerStageId(Stage->Value);
+        if (Op->Name == Call::ProfileStageStart)
+          profilerEnter(Id);
+        else
+          profilerExit(Id);
+        return Value::intVal(Int(32), 0);
+      }
       internal_error << "interpreter: unknown intrinsic " << Op->Name;
     }
     internal_assert(Op->CallKind == CallType::PureExtern)

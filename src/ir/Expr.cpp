@@ -134,6 +134,8 @@ Expr Broadcast::make(Expr Value, int Lanes) {
 }
 
 const char *const Call::TracePoint = "trace_point";
+const char *const Call::ProfileStageStart = "profile_stage_start";
+const char *const Call::ProfileStageEnd = "profile_stage_end";
 
 Expr Call::make(Type T, const std::string &Name, std::vector<Expr> Args,
                 CallType CallKind) {

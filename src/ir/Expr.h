@@ -380,6 +380,11 @@ struct Call final : ExprNode<Call> {
 
   /// Intrinsic names.
   static const char *const TracePoint; ///< debug/trace hook (side effecting)
+  /// Profiler stage markers injected by transforms/InjectProfiling.h when
+  /// Target::Profile is set: one StringImm argument naming the stage.
+  /// Side effecting (profilerEnter/Exit); value is always int32 0.
+  static const char *const ProfileStageStart;
+  static const char *const ProfileStageEnd;
 };
 
 /// A scoped value binding within an expression.

@@ -4,6 +4,8 @@
 
 #include "analysis/CallGraph.h"
 #include "ir/IRPrinter.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/TraceRecorder.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -157,11 +159,15 @@ Pipeline::cachedLowered(const std::string &LowerKey, const Target &T) {
   if (!Created)
     return Slot->await();
   C.Lowerings.fetch_add(1);
+  int64_t TraceT0 = traceActive() ? traceNowNs() : 0;
   std::shared_ptr<const LoweredPipeline> LP;
   {
     std::lock_guard<std::mutex> Lock(loweringMutex());
     LP = std::make_shared<const LoweredPipeline>(lower(Output.function(), T));
   }
+  if (TraceT0)
+    traceComplete("compile", "lower " + Output.name(), TraceT0,
+                  traceNowNs() - TraceT0);
   Slot->publish(LP);
   return LP;
 }
@@ -174,22 +180,34 @@ std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
   // but the executable carries its Target (the VM's dispatch consults
   // NumThreads at run time), so targets differing in threads must not
   // alias one cached artifact.
+  // Profile follows the same rule (see Target::Profile): instrumentation
+  // happens in makeExecutable on a copy of the shared lowering, so only
+  // the executable key carries the bit.
   std::string ExecKey = LowerKey + "##" + backendName(T.TargetBackend) +
                         "#" + T.JitFlags + "#t" +
-                        std::to_string(T.NumThreads);
+                        std::to_string(T.NumThreads) +
+                        (T.Profile ? "#profile" : "");
 
   bool Created = false;
   std::shared_ptr<ExecSlot> Slot =
       lookupOrCreateSlot(C.Executables, ExecKey, &Created);
   if (!Created) {
     C.CacheHits.fetch_add(1);
+    if (traceActive())
+      traceInstant("compile", "cache_hit " + Output.name());
     return Slot->await();
   }
 
   std::shared_ptr<const LoweredPipeline> LP = cachedLowered(LowerKey, T);
   if (T.compilesAheadOfRun())
     C.BackendCompiles.fetch_add(1);
+  int64_t TraceT0 = traceActive() ? traceNowNs() : 0;
   std::shared_ptr<const Executable> Exe = makeExecutable(*LP, T);
+  if (TraceT0)
+    traceComplete("compile",
+                  "backend_compile " + Output.name() + " (" +
+                      backendName(T.TargetBackend) + ")",
+                  TraceT0, traceNowNs() - TraceT0);
   Slot->publish(Exe);
   return Exe;
 }
@@ -323,10 +341,28 @@ FrameFuture Pipeline::realizeAsync(RawBuffer Out, const ParamBindings &Params,
   // the frame stays valid even if this Pipeline object dies first.
   Func OutputCopy = Output;
   std::shared_ptr<ExecutionStats> Stats = Future.Stats;
+  int64_t FrameSeq = metricsNoteFrameSubmitted();
+  int64_t SubmitNs = traceActive() ? traceNowNs() : 0;
   Future.Job = submitAsyncJob(
-      [OutputCopy, Out, Params, T, Snap, Stats]() mutable {
+      [OutputCopy, Out, Params, T, Snap, Stats, FrameSeq, SubmitNs,
+       Priority]() mutable {
+        // Split the frame's life into queue-wait (submission to pickup)
+        // and execute spans so serving traces show where latency lives.
+        int64_t StartNs = SubmitNs && traceActive() ? traceNowNs() : 0;
         Pipeline P(OutputCopy);
         *Stats = P.realizeWithSnapshot(Out, Params, *Snap, T);
+        if (StartNs) {
+          std::string Frame =
+              OutputCopy.name() + " frame " + std::to_string(FrameSeq);
+          std::vector<TraceArg> Args;
+          Args.emplace_back("frame", FrameSeq);
+          Args.emplace_back("priority", (int64_t)Priority);
+          traceComplete("serve", Frame + " queue_wait", SubmitNs,
+                        StartNs - SubmitNs, Args);
+          traceComplete("serve", Frame + " execute", StartNs,
+                        traceNowNs() - StartNs, Args);
+        }
+        metricsNoteFrameCompleted();
       },
       Priority);
   return Future;

@@ -35,6 +35,7 @@ std::string Target::lowerOptionsFingerprint() const {
 std::string Target::str() const {
   return backendName(TargetBackend) + lowerOptionsFingerprint() +
          (NumThreads > 0 ? "-threads" + std::to_string(NumThreads) : "") +
+         (Profile ? "-profile" : "") +
          (JitFlags.empty() ? "" : " [" + JitFlags + "]");
 }
 
@@ -59,6 +60,8 @@ bool Target::parse(const std::string &Text, Target *Out) {
       T.DisableSlidingWindow = true;
     else if (Parts[I] == "no_storage_folding")
       T.DisableStorageFolding = true;
+    else if (Parts[I] == "profile")
+      T.Profile = true;
     else if (startsWith(Parts[I], "threads")) {
       int N = std::atoi(Parts[I].c_str() + 7);
       if (N <= 0)

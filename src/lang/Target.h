@@ -65,6 +65,14 @@ struct Target {
   /// lowered pipeline per schedule.
   int NumThreads = 0;
 
+  /// Per-stage profiling (src/observe/Profiler.h): the executable is
+  /// instrumented with stage enter/exit markers at backend-compile time.
+  /// Like NumThreads this does not affect lowering — it is folded into
+  /// the executable cache key only, never into the lowering fingerprint,
+  /// so profile-on and profile-off targets share one lowered pipeline
+  /// and an off-target run is bit-identical, marker-free code.
+  bool Profile = false;
+
   Target() = default;
   explicit Target(Backend B) : TargetBackend(B) {}
 
@@ -94,6 +102,11 @@ struct Target {
     T.NumThreads = Threads;
     return T;
   }
+  Target withProfile(bool Enable = true) const {
+    Target T = *this;
+    T.Profile = Enable;
+    return T;
+  }
 
   /// True when this target invokes the host C compiler (JitC and the
   /// GpuSim device path that rides on it).
@@ -118,8 +131,8 @@ struct Target {
 
   /// Parses the bench_runner --backend flag form: "interp"/"interpreter",
   /// "vm"/"vm_bytecode", "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
-  /// "-no_sliding_window"/"-no_storage_folding" features and a
-  /// "-threads<N>" thread request. JitFlags have no
+  /// "-no_sliding_window"/"-no_storage_folding" features, a
+  /// "-threads<N>" thread request, and "-profile". JitFlags have no
   /// textual form here — str()'s " [flags]" suffix is display-only.
   /// Returns false (and leaves \p Out alone) on an unknown name.
   static bool parse(const std::string &Text, Target *Out);
@@ -128,7 +141,8 @@ struct Target {
     return TargetBackend == Other.TargetBackend &&
            DisableSlidingWindow == Other.DisableSlidingWindow &&
            DisableStorageFolding == Other.DisableStorageFolding &&
-           JitFlags == Other.JitFlags && NumThreads == Other.NumThreads;
+           JitFlags == Other.JitFlags && NumThreads == Other.NumThreads &&
+           Profile == Other.Profile;
   }
   bool operator!=(const Target &Other) const { return !(*this == Other); }
 };

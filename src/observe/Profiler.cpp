@@ -1,0 +1,321 @@
+//===-- observe/Profiler.cpp - Per-stage wall-time profiler ---------------===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Profiler.h"
+#include "observe/TraceRecorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+namespace halide {
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-stage accumulator within one thread's shard.
+struct StageSlot {
+  int64_t Invocations = 0;
+  int64_t SelfNanos = 0;
+  int64_t TotalNanos = 0;
+  int64_t CurBytes = 0;
+  int64_t PeakBytes = 0;
+};
+
+struct StackFrame {
+  int StageId;
+  int64_t EnterNs;
+};
+
+struct Shard;
+
+/// Global state: the intern table and the shard registry. Intentionally
+/// leaked (see registry()): TaskScheduler workers are joined during
+/// static destruction, and their thread_local shard destructors must
+/// still find a live registry whatever the construction order was.
+struct Registry {
+  std::mutex Mu;
+  std::unordered_map<std::string, int> Ids;
+  std::vector<std::string> Names;
+  std::vector<Shard *> Live;
+  std::vector<StageSlot> Retired; // merged totals of exited threads
+
+  int intern(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    int Id = (int)Names.size();
+    Ids.emplace(Name, Id);
+    Names.push_back(Name);
+    return Id;
+  }
+};
+
+Registry &registry() {
+  static Registry *R = new Registry; // never destroyed, by design
+  return *R;
+}
+
+/// One thread's accumulation state. Registered on construction,
+/// merged into Registry::Retired and unregistered on thread exit.
+struct Shard {
+  std::vector<StageSlot> Slots;
+  std::vector<StackFrame> Stack;
+  int64_t BaseNs = 0; // start of the current self-time interval
+  /// Live allocations charged to a stage: ptr -> {stage id, bytes}.
+  std::unordered_map<const void *, std::pair<int, int64_t>> Allocs;
+
+  Shard() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    R.Live.push_back(this);
+  }
+
+  ~Shard() {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    if (R.Retired.size() < Slots.size())
+      R.Retired.resize(Slots.size());
+    for (size_t I = 0; I < Slots.size(); ++I)
+      mergeSlot(R.Retired[I], Slots[I]);
+    R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), this),
+                 R.Live.end());
+  }
+
+  static void mergeSlot(StageSlot &Into, const StageSlot &From) {
+    Into.Invocations += From.Invocations;
+    Into.SelfNanos += From.SelfNanos;
+    Into.TotalNanos += From.TotalNanos;
+    Into.CurBytes += From.CurBytes;
+    Into.PeakBytes += From.PeakBytes;
+  }
+
+  StageSlot &slot(int StageId) {
+    if ((int)Slots.size() <= StageId)
+      Slots.resize(StageId + 1);
+    return Slots[StageId];
+  }
+
+  void enter(int StageId, bool CountInvocation) {
+    int64_t Now = nowNs();
+    if (!Stack.empty())
+      slot(Stack.back().StageId).SelfNanos += Now - BaseNs;
+    Stack.push_back({StageId, Now});
+    BaseNs = Now;
+    if (CountInvocation)
+      slot(StageId).Invocations += 1;
+    if (traceActive())
+      traceBegin("stage", profilerStageName(StageId));
+  }
+
+  void exit(int StageId) {
+    if (Stack.empty() || Stack.back().StageId != StageId)
+      return; // mismatched marker; drop rather than corrupt the stack
+    int64_t Now = nowNs();
+    StageSlot &S = slot(StageId);
+    S.SelfNanos += Now - BaseNs;
+    S.TotalNanos += Now - Stack.back().EnterNs;
+    Stack.pop_back();
+    BaseNs = Now;
+    if (traceActive())
+      traceEnd();
+  }
+
+  void noteAlloc(const void *Ptr, int64_t Bytes) {
+    if (Stack.empty())
+      return;
+    int StageId = Stack.back().StageId;
+    Allocs[Ptr] = {StageId, Bytes};
+    StageSlot &S = slot(StageId);
+    S.CurBytes += Bytes;
+    S.PeakBytes = std::max(S.PeakBytes, S.CurBytes);
+  }
+
+  void noteFree(const void *Ptr) {
+    auto It = Allocs.find(Ptr);
+    if (It == Allocs.end())
+      return; // allocated before profiling began or on another thread
+    slot(It->second.first).CurBytes -= It->second.second;
+    Allocs.erase(It);
+  }
+};
+
+Shard &shard() {
+  static thread_local Shard S;
+  return S;
+}
+
+/// Non-creating view of this thread's shard (null until first use).
+thread_local Shard *ShardView = nullptr;
+
+Shard &shardCreating() {
+  Shard &S = shard();
+  ShardView = &S;
+  return S;
+}
+
+} // namespace
+
+void setProfilerEnabled(bool E) { Enabled.store(E, std::memory_order_relaxed); }
+
+bool profilerEnabled() { return Enabled.load(std::memory_order_relaxed); }
+
+int profilerStageId(const std::string &Name) {
+  return registry().intern(Name);
+}
+
+std::string profilerStageName(int Id) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  if (Id < 0 || Id >= (int)R.Names.size())
+    return "?";
+  return R.Names[Id];
+}
+
+void profilerEnter(int StageId) {
+  if (!profilerEnabled())
+    return;
+  shardCreating().enter(StageId, /*CountInvocation=*/true);
+}
+
+void profilerEnterChunk(int StageId) {
+  if (!profilerEnabled())
+    return;
+  shardCreating().enter(StageId, /*CountInvocation=*/false);
+}
+
+void profilerExit(int StageId) {
+  if (!profilerEnabled())
+    return;
+  if (Shard *S = ShardView)
+    S->exit(StageId);
+}
+
+int profilerCurrentStage() {
+  if (!profilerEnabled())
+    return -1;
+  Shard *S = ShardView;
+  if (!S || S->Stack.empty())
+    return -1;
+  return S->Stack.back().StageId;
+}
+
+void profilerNoteAlloc(const void *Ptr, int64_t Bytes) {
+  if (!profilerEnabled())
+    return;
+  if (Shard *S = ShardView)
+    S->noteAlloc(Ptr, Bytes);
+}
+
+void profilerNoteFree(const void *Ptr) {
+  if (!profilerEnabled())
+    return;
+  if (Shard *S = ShardView)
+    S->noteFree(Ptr);
+}
+
+void profilerReset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Retired.clear();
+  for (Shard *S : R.Live) {
+    S->Slots.clear();
+    // Leave any in-progress stack alone; its frames re-accumulate from
+    // their original enter timestamps when they exit.
+  }
+}
+
+ProfileReport profilerReport() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<StageSlot> Merged = R.Retired;
+  if (Merged.size() < R.Names.size())
+    Merged.resize(R.Names.size());
+  for (Shard *S : R.Live) {
+    if (Merged.size() < S->Slots.size())
+      Merged.resize(S->Slots.size());
+    for (size_t I = 0; I < S->Slots.size(); ++I)
+      Shard::mergeSlot(Merged[I], S->Slots[I]);
+  }
+  ProfileReport Report;
+  for (size_t I = 0; I < Merged.size(); ++I) {
+    const StageSlot &S = Merged[I];
+    if (S.Invocations == 0 && S.SelfNanos == 0 && S.TotalNanos == 0 &&
+        S.PeakBytes == 0)
+      continue;
+    StageProfile P;
+    P.Name = I < R.Names.size() ? R.Names[I] : "?";
+    P.Invocations = S.Invocations;
+    P.SelfNanos = S.SelfNanos;
+    P.TotalNanos = S.TotalNanos;
+    P.PeakBytes = S.PeakBytes;
+    Report.Stages.push_back(std::move(P));
+  }
+  std::sort(Report.Stages.begin(), Report.Stages.end(),
+            [](const StageProfile &A, const StageProfile &B) {
+              if (A.SelfNanos != B.SelfNanos)
+                return A.SelfNanos > B.SelfNanos;
+              return A.Name < B.Name;
+            });
+  return Report;
+}
+
+int64_t ProfileReport::totalSelfNanos() const {
+  int64_t Sum = 0;
+  for (const StageProfile &S : Stages)
+    Sum += S.SelfNanos;
+  return Sum;
+}
+
+std::string ProfileReport::str() const {
+  std::string Out;
+  char Line[256];
+  snprintf(Line, sizeof(Line), "%-28s %10s %12s %12s %12s %12s\n", "stage",
+           "calls", "self_ms", "child_ms", "total_ms", "peak_bytes");
+  Out += Line;
+  for (const StageProfile &S : Stages) {
+    snprintf(Line, sizeof(Line),
+             "%-28s %10lld %12.3f %12.3f %12.3f %12lld\n", S.Name.c_str(),
+             (long long)S.Invocations, (double)S.SelfNanos / 1e6,
+             (double)S.childNanos() / 1e6, (double)S.TotalNanos / 1e6,
+             (long long)S.PeakBytes);
+    Out += Line;
+  }
+  snprintf(Line, sizeof(Line), "%-28s %10s %12.3f\n", "total", "",
+           (double)totalSelfNanos() / 1e6);
+  Out += Line;
+  return Out;
+}
+
+std::string ProfileReport::toJson() const {
+  std::string Out = "[";
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    const StageProfile &S = Stages[I];
+    if (I)
+      Out += ",";
+    Out += "{\"name\":\"" + S.Name + "\"";
+    Out += ",\"invocations\":" + std::to_string(S.Invocations);
+    Out += ",\"self_ns\":" + std::to_string(S.SelfNanos);
+    Out += ",\"total_ns\":" + std::to_string(S.TotalNanos);
+    Out += ",\"peak_bytes\":" + std::to_string(S.PeakBytes);
+    Out += "}";
+  }
+  Out += "]";
+  return Out;
+}
+
+} // namespace halide

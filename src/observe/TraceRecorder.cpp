@@ -1,0 +1,283 @@
+//===-- observe/TraceRecorder.cpp - Chrome trace-event recorder -----------===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/TraceRecorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace halide {
+
+namespace {
+
+std::atomic<bool> Active{false};
+
+int64_t steadyNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+enum class Phase : char {
+  Begin = 'B',
+  End = 'E',
+  Complete = 'X',
+  Instant = 'i',
+  Counter = 'C',
+};
+
+struct Event {
+  Phase Ph;
+  int64_t TsNs = 0;
+  int64_t DurNs = 0; // Complete only
+  std::string Cat;
+  std::string Name;
+  std::vector<TraceArg> Args;
+};
+
+struct TraceShard;
+
+struct TraceRegistry {
+  std::mutex Mu;
+  std::vector<TraceShard *> Live;
+  std::vector<std::pair<int, std::vector<Event>>> Retired; // tid, events
+  std::vector<std::pair<int, std::string>> RetiredNames;   // tid, name
+  int NextTid = 0;
+  int64_t EpochNs = 0; // set by the first traceStart
+};
+
+TraceRegistry &registry() {
+  // Intentionally leaked: TaskScheduler workers are joined during static
+  // destruction, and their thread_local TraceShard destructors must
+  // still find a live registry whatever order the singletons were first
+  // touched in (e.g. bench_runner calls setTaskSchedulerThreads before
+  // traceStart, putting the scheduler's teardown after this registry's).
+  static TraceRegistry *R = new TraceRegistry;
+  return *R;
+}
+
+struct TraceShard {
+  int Tid;
+  std::string Name;
+  std::vector<Event> Events;
+
+  TraceShard() {
+    TraceRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Tid = R.NextTid++;
+    R.Live.push_back(this);
+  }
+
+  ~TraceShard() {
+    TraceRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    if (!Events.empty())
+      R.Retired.emplace_back(Tid, std::move(Events));
+    if (!Name.empty())
+      R.RetiredNames.emplace_back(Tid, Name);
+    R.Live.erase(std::remove(R.Live.begin(), R.Live.end(), this),
+                 R.Live.end());
+  }
+};
+
+TraceShard &shard() {
+  static thread_local TraceShard S;
+  return S;
+}
+
+void record(Event E) {
+  E.TsNs = steadyNs();
+  shard().Events.push_back(std::move(E));
+}
+
+void jsonEscape(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if ((unsigned char)C < 0x20) {
+      char Buf[8];
+      snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+}
+
+void writeEvent(std::string &Out, int Tid, const Event &E, int64_t EpochNs,
+                bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  char Buf[128];
+  Out += "{\"name\":\"";
+  jsonEscape(Out, E.Name);
+  Out += "\",\"cat\":\"";
+  jsonEscape(Out, E.Cat.empty() ? std::string("halide") : E.Cat);
+  snprintf(Buf, sizeof(Buf), "\",\"ph\":\"%c\",\"ts\":%.3f", (char)E.Ph,
+           (double)(E.TsNs - EpochNs) / 1e3);
+  Out += Buf;
+  if (E.Ph == Phase::Complete) {
+    snprintf(Buf, sizeof(Buf), ",\"dur\":%.3f", (double)E.DurNs / 1e3);
+    Out += Buf;
+  }
+  if (E.Ph == Phase::Instant)
+    Out += ",\"s\":\"t\"";
+  snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%d", Tid);
+  Out += Buf;
+  if (E.Ph == Phase::Counter) {
+    // Counter events carry their value in args; emitted below like any
+    // other args object.
+  }
+  if (!E.Args.empty()) {
+    Out += ",\"args\":{";
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "\"";
+      jsonEscape(Out, E.Args[I].Key);
+      Out += "\":";
+      if (E.Args[I].Numeric) {
+        Out += E.Args[I].Value;
+      } else {
+        Out += "\"";
+        jsonEscape(Out, E.Args[I].Value);
+        Out += "\"";
+      }
+    }
+    Out += "}";
+  }
+  Out += "}";
+}
+
+void writeThreadName(std::string &Out, int Tid, const std::string &Name,
+                     bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  char Buf[64];
+  Out += "{\"name\":\"thread_name\",\"ph\":\"M\"";
+  snprintf(Buf, sizeof(Buf), ",\"pid\":1,\"tid\":%d", Tid);
+  Out += Buf;
+  Out += ",\"args\":{\"name\":\"";
+  jsonEscape(Out, Name);
+  Out += "\"}}";
+}
+
+} // namespace
+
+bool traceActive() { return Active.load(std::memory_order_relaxed); }
+
+void traceStart() {
+  TraceRegistry &R = registry();
+  {
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    if (R.EpochNs == 0)
+      R.EpochNs = steadyNs();
+    R.Retired.clear();
+    for (TraceShard *S : R.Live)
+      S->Events.clear();
+  }
+  Active.store(true, std::memory_order_release);
+}
+
+void traceStop() { Active.store(false, std::memory_order_relaxed); }
+
+int64_t traceNowNs() { return steadyNs(); }
+
+void traceSetThreadName(const std::string &Name) { shard().Name = Name; }
+
+void traceBegin(const std::string &Cat, const std::string &Name) {
+  if (!traceActive())
+    return;
+  Event E;
+  E.Ph = Phase::Begin;
+  E.Cat = Cat;
+  E.Name = Name;
+  record(std::move(E));
+}
+
+void traceEnd() {
+  if (!traceActive())
+    return;
+  Event E;
+  E.Ph = Phase::End;
+  record(std::move(E));
+}
+
+void traceComplete(const std::string &Cat, const std::string &Name,
+                   int64_t StartNs, int64_t DurNs,
+                   std::vector<TraceArg> Args) {
+  if (!traceActive())
+    return;
+  Event E;
+  E.Ph = Phase::Complete;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.DurNs = DurNs < 0 ? 0 : DurNs;
+  E.Args = std::move(Args);
+  E.TsNs = StartNs;
+  shard().Events.push_back(std::move(E));
+}
+
+void traceInstant(const std::string &Cat, const std::string &Name,
+                  std::vector<TraceArg> Args) {
+  if (!traceActive())
+    return;
+  Event E;
+  E.Ph = Phase::Instant;
+  E.Cat = Cat;
+  E.Name = Name;
+  E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+void traceCounter(const std::string &Name, int64_t Value) {
+  if (!traceActive())
+    return;
+  Event E;
+  E.Ph = Phase::Counter;
+  E.Cat = "counter";
+  E.Name = Name;
+  E.Args.emplace_back("value", Value);
+  record(std::move(E));
+}
+
+std::string traceWriteJson() {
+  TraceRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (TraceShard *S : R.Live)
+    if (!S->Name.empty())
+      writeThreadName(Out, S->Tid, S->Name, First);
+  for (const auto &TN : R.RetiredNames)
+    writeThreadName(Out, TN.first, TN.second, First);
+  for (TraceShard *S : R.Live)
+    for (const Event &E : S->Events)
+      writeEvent(Out, S->Tid, E, R.EpochNs, First);
+  for (const auto &TE : R.Retired)
+    for (const Event &E : TE.second)
+      writeEvent(Out, TE.first, E, R.EpochNs, First);
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool traceWriteFile(const std::string &Path) {
+  std::string Json = traceWriteJson();
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  fwrite(Json.data(), 1, Json.size(), F);
+  fclose(F);
+  return true;
+}
+
+} // namespace halide

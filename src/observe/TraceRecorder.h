@@ -1,0 +1,102 @@
+//===-- observe/TraceRecorder.h - Chrome trace-event recorder ---*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide runtime trace recorder emitting Chrome trace-event
+/// JSON (the format chrome://tracing and https://ui.perfetto.dev load).
+/// Instrumentation points across the runtime -- profiler stage spans,
+/// TaskScheduler chunk execution (steals visible because each worker is
+/// its own lane), compile-cache events, BufferPool traffic, GpuSim
+/// kernel launches, and realizeAsync serving spans -- call the record
+/// functions below; each appends to a per-thread buffer with no locking
+/// on the hot path, so tracing perturbs the timeline it records as
+/// little as possible.
+///
+/// When tracing is inactive (the default) every record function returns
+/// after a single relaxed atomic load. traceStart() clears old events
+/// and activates recording; traceWriteJson()/traceWriteFile() serialize
+/// everything recorded so far. Buffers of exited threads are retired
+/// into a global list so their events survive until the write.
+///
+/// Timestamps are steady-clock nanoseconds rebased to the first
+/// traceStart() call and written in microseconds (the trace-event
+/// contract). Threads appear as tid 0..N in registration order with
+/// thread_name metadata ("main", "worker 3", ...) set via
+/// traceSetThreadName.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_OBSERVE_TRACERECORDER_H
+#define HALIDE_OBSERVE_TRACERECORDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace halide {
+
+/// One "key":value pair attached to a trace event's args object. Values
+/// render as JSON numbers when Numeric, else as quoted strings.
+struct TraceArg {
+  std::string Key;
+  std::string Value;
+  bool Numeric = false;
+
+  TraceArg(std::string Key, int64_t V)
+      : Key(std::move(Key)), Value(std::to_string(V)), Numeric(true) {}
+  TraceArg(std::string Key, std::string V)
+      : Key(std::move(Key)), Value(std::move(V)), Numeric(false) {}
+};
+
+/// True while a trace is being recorded. All record functions below are
+/// no-ops (one relaxed atomic load) when this is false.
+bool traceActive();
+
+/// Begins a new trace: clears previously recorded events and activates
+/// recording. traceStop() deactivates without clearing, so events can
+/// still be written afterwards.
+void traceStart();
+void traceStop();
+
+/// Nanoseconds on the trace clock (valid any time; rebased at write).
+int64_t traceNowNs();
+
+/// Names the calling thread's lane in the trace ("worker 2"). Sticky:
+/// survives traceStart/Stop cycles, so long-lived workers named at
+/// spawn show up in traces started later.
+void traceSetThreadName(const std::string &Name);
+
+/// Begin/end a nested duration span on the calling thread. Must nest
+/// properly per thread (the profiler's stage stack guarantees this for
+/// stage spans).
+void traceBegin(const std::string &Cat, const std::string &Name);
+void traceEnd();
+
+/// A complete span with explicit start and duration -- for spans whose
+/// extent is known only at the end (task chunks, serving frames) or
+/// whose start happened on another thread (queue-wait).
+void traceComplete(const std::string &Cat, const std::string &Name,
+                   int64_t StartNs, int64_t DurNs,
+                   std::vector<TraceArg> Args = {});
+
+/// A zero-duration instant event (cache hits, fresh pool allocations).
+void traceInstant(const std::string &Cat, const std::string &Name,
+                  std::vector<TraceArg> Args = {});
+
+/// A counter sample; renders as a stacked area chart in the viewer.
+void traceCounter(const std::string &Name, int64_t Value);
+
+/// Serializes everything recorded since traceStart() as a Chrome
+/// trace-event JSON object: {"traceEvents":[...]}.
+std::string traceWriteJson();
+
+/// traceWriteJson() to \p Path; returns false if the file can't be
+/// opened.
+bool traceWriteFile(const std::string &Path);
+
+} // namespace halide
+
+#endif // HALIDE_OBSERVE_TRACERECORDER_H

@@ -2,6 +2,8 @@
 
 #include "runtime/BufferPool.h"
 
+#include "observe/Profiler.h"
+#include "observe/TraceRecorder.h"
 #include "support/Util.h"
 
 #include <cstdlib>
@@ -147,9 +149,19 @@ void halide::setBufferPoolCapacity(int64_t Bytes) {
 }
 
 void *halide::bufferPoolMalloc(int64_t Bytes) {
-  return BufferPool::instance().allocate(Bytes);
+  void *Ptr = BufferPool::instance().allocate(Bytes);
+  // Attribute to the profiler stage active on this thread, and sample the
+  // live-bytes counter into the trace so pool traffic is visible as a
+  // chart. Both are single-atomic-load no-ops when observability is off.
+  profilerNoteAlloc(Ptr, Bytes);
+  if (traceActive())
+    traceCounter("pool_bytes_live", bufferPoolStats().BytesLive);
+  return Ptr;
 }
 
 void halide::bufferPoolFree(void *Ptr) {
+  profilerNoteFree(Ptr);
   BufferPool::instance().release(Ptr);
+  if (traceActive())
+    traceCounter("pool_bytes_live", bufferPoolStats().BytesLive);
 }

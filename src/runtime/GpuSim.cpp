@@ -1,6 +1,7 @@
 //===-- runtime/GpuSim.cpp -------------------------------------------------------=//
 
 #include "runtime/GpuSim.h"
+#include "observe/TraceRecorder.h"
 #include "runtime/TaskScheduler.h"
 
 using namespace halide;
@@ -9,10 +10,17 @@ void GpuSim::launch(int32_t Blocks, void (*Body)(int32_t, void *),
                     void *Closure) {
   ++Stats.KernelLaunches;
   Stats.BlocksExecuted += Blocks;
+  const int64_t T0 = traceActive() ? traceNowNs() : 0;
   // Blocks are data parallel; run them on the host task scheduler, which
   // stands in for the SM array. (With one hardware core this degrades
   // gracefully to a serial sweep, preserving semantics.)
   parallelFor(0, Blocks, Body, Closure);
+  if (T0) {
+    std::vector<TraceArg> Args;
+    Args.emplace_back("blocks", int64_t(Blocks));
+    traceComplete("gpu", "kernel_launch", T0, traceNowNs() - T0,
+                  std::move(Args));
+  }
 }
 
 GpuSim &halide::gpuSim() {

@@ -1,6 +1,7 @@
 //===-- runtime/Runtime.cpp -----------------------------------------------------=//
 
 #include "runtime/Runtime.h"
+#include "observe/Profiler.h"
 #include "runtime/BufferPool.h"
 #include "runtime/GpuSim.h"
 #include "runtime/TaskScheduler.h"
@@ -72,11 +73,16 @@ void vtableGpuLaunch(int32_t Blocks, void (*Body)(int32_t, void *),
   gpuSim().launch(Blocks, Body, Closure);
 }
 
+void vtableProfEnter(int32_t StageId) { profilerEnter(StageId); }
+
+void vtableProfExit(int32_t StageId) { profilerExit(StageId); }
+
 } // namespace
 
 const RuntimeVTable *halide::runtimeVTable() {
   static const RuntimeVTable Table = {
-      halideMalloc, halideFree, vtableParFor, vtableGpuLaunch, vtableAbort,
+      halideMalloc,    halideFree,     vtableParFor, vtableGpuLaunch,
+      vtableAbort,     vtableProfEnter, vtableProfExit,
   };
   return &Table;
 }

@@ -85,6 +85,13 @@ struct RuntimeVTable {
                     void *Closure);
   /// Aborts execution with a message (failed AssertStmt).
   void (*Abort)(const char *Message);
+  /// Profiler stage markers (observe/Profiler.h), emitted by CodeGenC
+  /// only for Target::Profile executables; the argument is the
+  /// process-wide stage id baked in at codegen time. Appended at the end
+  /// of the struct so the generated hl_vtable typedef (CodeGenC.cpp)
+  /// stays layout-compatible — keep both in lockstep.
+  void (*ProfEnter)(int32_t StageId);
+  void (*ProfExit)(int32_t StageId);
 };
 
 /// The global vtable instance (also used by the interpreter for parity).

@@ -2,6 +2,9 @@
 
 #include "runtime/TaskScheduler.h"
 
+#include "observe/Profiler.h"
+#include "observe/TraceRecorder.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -9,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -39,6 +43,10 @@ struct Job {
   TaskChunkFn Body = nullptr;
   void *Closure = nullptr;
   std::atomic<int> PendingChunks{0};
+  /// The submitting thread's profiler stage at submission, or -1. Workers
+  /// re-enter it as a chunk scope (no invocation bump) so threaded runs
+  /// charge stage time without double-counting invocations.
+  int ProfileStage = -1;
 };
 
 /// A chunk of some job, sitting in a deque until a thread runs it.
@@ -46,7 +54,31 @@ struct WorkItem {
   Job *TheJob = nullptr;
   int64_t Begin = 0, End = 0;
   int Chunk = 0;
+  int Origin = 0; ///< deque index it was pushed to; != executor => stolen
 };
+
+/// Runs one chunk body with the submitter's profiler stage extended onto
+/// this thread and (when tracing) a "task" span recording the subrange.
+/// Shared by queued-chunk execution and the serial inline path so chunks
+/// are observable regardless of how they were dispatched.
+void runChunkBody(TaskChunkFn Body, void *Closure, int64_t Begin,
+                  int64_t End, int Chunk, int Stage, bool Stolen) {
+  const bool EnterStage = Stage >= 0 && profilerCurrentStage() != Stage;
+  const int64_t T0 = traceActive() ? traceNowNs() : 0;
+  if (EnterStage)
+    profilerEnterChunk(Stage);
+  Body(Begin, End, Chunk, Closure);
+  if (EnterStage)
+    profilerExit(Stage);
+  if (T0) {
+    std::vector<TraceArg> Args;
+    Args.emplace_back("begin", Begin);
+    Args.emplace_back("end", End);
+    Args.emplace_back("chunk", int64_t(Chunk));
+    Args.emplace_back("stolen", int64_t(Stolen ? 1 : 0));
+    traceComplete("task", "chunk", T0, traceNowNs() - T0, std::move(Args));
+  }
+}
 
 /// A per-worker double-ended queue. The owner pushes and pops at the
 /// bottom (LIFO — nested loops drain depth-first, like the serial
@@ -99,6 +131,16 @@ public:
           void *Closure);
   void resize(int Threads);
 
+  TaskSchedulerStats stats() {
+    TaskSchedulerStats S;
+    S.Threads = threads();
+    S.Steals = Steals.load(std::memory_order_relaxed);
+    S.ChunksExecuted = ChunksExecuted.load(std::memory_order_relaxed);
+    S.AsyncJobsExecuted = AsyncJobsExecuted.load(std::memory_order_relaxed);
+    S.PeakQueueDepth = PeakQueueDepth.load(std::memory_order_relaxed);
+    return S;
+  }
+
   std::shared_ptr<AsyncJobState> submitAsync(std::function<void()> Fn,
                                              int Priority);
   void waitAsync(const std::shared_ptr<AsyncJobState> &State);
@@ -143,6 +185,8 @@ private:
 
   void workerLoop(int Index) {
     SlotIndex = Index;
+    // Sticky lane name: traces started later still label worker lanes.
+    traceSetThreadName("worker " + std::to_string(Index));
     WorkItem W;
     AsyncTask AT;
     while (true) {
@@ -181,6 +225,7 @@ private:
   /// is set), so they skip the top-level gate — the job itself is the unit
   /// resize() waits on, via ActiveJobs.
   void runAsyncTask(AsyncTask &T) {
+    AsyncJobsExecuted.fetch_add(1, std::memory_order_relaxed);
     const bool WasInTask = InTask;
     InTask = true;
     T.Fn();
@@ -210,9 +255,16 @@ private:
 
   void execute(const WorkItem &W) {
     QueuedItems.fetch_sub(1);
+    ChunksExecuted.fetch_add(1, std::memory_order_relaxed);
+    const int Home =
+        SlotIndex >= 0 ? SlotIndex : int(Deques.size()) - 1;
+    const bool Stolen = W.Origin != Home;
+    if (Stolen)
+      Steals.fetch_add(1, std::memory_order_relaxed);
     const bool WasInTask = InTask;
     InTask = true;
-    W.TheJob->Body(W.Begin, W.End, W.Chunk, W.TheJob->Closure);
+    runChunkBody(W.TheJob->Body, W.TheJob->Closure, W.Begin, W.End,
+                 W.Chunk, W.TheJob->ProfileStage, Stolen);
     InTask = WasInTask;
     if (W.TheJob->PendingChunks.fetch_sub(1) == 1) {
       // Last chunk: wake the submitter (and anyone else re-checking).
@@ -227,6 +279,12 @@ private:
   std::condition_variable WorkCV;   ///< work queued or a job completed
   std::condition_variable ConfigCV; ///< resize gate handshake
   std::atomic<int> QueuedItems{0};  ///< items sitting in deques
+  // Lifetime observability counters (taskSchedulerStats()); monotonic,
+  // never reset by resize().
+  std::atomic<int64_t> Steals{0};
+  std::atomic<int64_t> ChunksExecuted{0};
+  std::atomic<int64_t> AsyncJobsExecuted{0};
+  std::atomic<int64_t> PeakQueueDepth{0};
   /// Queued async jobs, ordered by (-Priority, submission sequence): the
   /// map's first entry is always the next job to run.
   std::map<std::pair<int, uint64_t>, AsyncTask> AsyncQueue;
@@ -272,20 +330,26 @@ int Scheduler::run(int64_t Min, int64_t Extent, int MaxTasks,
   if (NumChunks == 1 || PoolThreads == 1) {
     // Inline execution still honors the partition — callers size
     // per-chunk result slots from it, so every chunk index must fire.
+    // The submitting thread's stage is already current, so the chunk
+    // helper only adds the trace span here.
     const bool WasInTask = InTask;
     InTask = true;
-    for (int C = 0; C < NumChunks; ++C)
-      Body(Min + Extent * C / NumChunks, Min + Extent * (C + 1) / NumChunks,
-           C, Closure);
+    for (int C = 0; C < NumChunks; ++C) {
+      ChunksExecuted.fetch_add(1, std::memory_order_relaxed);
+      runChunkBody(Body, Closure, Min + Extent * C / NumChunks,
+                   Min + Extent * (C + 1) / NumChunks, C, /*Stage=*/-1,
+                   /*Stolen=*/false);
+    }
     InTask = WasInTask;
   } else {
     Job TheJob;
     TheJob.Body = Body;
     TheJob.Closure = Closure;
     TheJob.PendingChunks.store(NumChunks);
+    TheJob.ProfileStage = profilerCurrentStage();
 
-    WorkDeque &Mine =
-        SlotIndex >= 0 ? *Deques[size_t(SlotIndex)] : *Deques.back();
+    const int MineIdx = SlotIndex >= 0 ? SlotIndex : int(Deques.size()) - 1;
+    WorkDeque &Mine = *Deques[size_t(MineIdx)];
     // Deterministic balanced partition: chunk C covers
     // [Extent*C/NumChunks, Extent*(C+1)/NumChunks); no chunk is empty
     // because NumChunks <= Extent.
@@ -295,9 +359,14 @@ int Scheduler::run(int64_t Min, int64_t Extent, int MaxTasks,
       W.Begin = Min + Extent * C / NumChunks;
       W.End = Min + Extent * (C + 1) / NumChunks;
       W.Chunk = C;
+      W.Origin = MineIdx;
       Mine.pushBottom(W);
     }
-    QueuedItems.fetch_add(NumChunks);
+    const int64_t Depth = QueuedItems.fetch_add(NumChunks) + NumChunks;
+    int64_t Peak = PeakQueueDepth.load(std::memory_order_relaxed);
+    while (Depth > Peak && !PeakQueueDepth.compare_exchange_weak(
+                               Peak, Depth, std::memory_order_relaxed)) {
+    }
     {
       std::lock_guard<std::mutex> Lock(StateMutex);
       WorkCV.notify_all();
@@ -441,6 +510,10 @@ int halide::taskSchedulerThreads() { return Scheduler::instance().threads(); }
 
 void halide::setTaskSchedulerThreads(int Threads) {
   Scheduler::instance().resize(Threads);
+}
+
+TaskSchedulerStats halide::taskSchedulerStats() {
+  return Scheduler::instance().stats();
 }
 
 bool halide::inTaskWorker() {

@@ -72,6 +72,21 @@ void setTaskSchedulerThreads(int Threads);
 /// exposed for tests).
 bool inTaskWorker();
 
+/// Lifetime counters of the scheduler, sampled for the metrics registry
+/// (observe/MetricsRegistry.h). Monotonic since process start — resize()
+/// does not reset them — except Threads, which is the current pool size.
+struct TaskSchedulerStats {
+  int Threads = 1;              ///< current pool size (incl. submitter)
+  int64_t Steals = 0;           ///< chunks taken from another thread's deque
+  int64_t ChunksExecuted = 0;   ///< parallel-loop chunks run (any path)
+  int64_t AsyncJobsExecuted = 0; ///< async jobs (frames) run to completion
+  int64_t PeakQueueDepth = 0;   ///< high-water mark of queued chunks
+};
+
+/// Snapshot of the counters above. Individually consistent (each counter
+/// is an atomic), not a cross-counter atomic snapshot.
+TaskSchedulerStats taskSchedulerStats();
+
 //===----------------------------------------------------------------------===//
 // Async jobs: whole units of work (a frame's realize) queued on the same
 // pool that runs parallel-loop chunks. This is what turns the scheduler

@@ -16,6 +16,7 @@
 #define HALIDE_RUNTIME_TRACING_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -56,7 +57,27 @@ struct ExecutionStats {
       PeakAllocationBytes = CurrentAllocationBytes;
   }
   void noteFree(int64_t Bytes) { CurrentAllocationBytes -= Bytes; }
+
+  /// All fields as one JSON object ({"stores": {...}, "loads": {...},
+  /// "peak_allocation_bytes": N, ...}) for machine-readable baselines.
+  std::string toJson() const;
 };
+
+/// The determinism contract: the counters that identify the computation
+/// performed (loads/stores per buffer, peak allocation, span, GPU
+/// launches). Excludes the transient CurrentAllocationBytes and the
+/// opt-in MaxReuseDistance, so two runs of the same schedule compare
+/// equal whichever engine and thread count executed them. This is what
+/// the parity/serving tests and the differential harness check.
+bool operator==(const ExecutionStats &A, const ExecutionStats &B);
+inline bool operator!=(const ExecutionStats &A, const ExecutionStats &B) {
+  return !(A == B);
+}
+
+/// Compact one-line rendering of the contract fields, for test-failure
+/// and differential-mismatch diagnostics (gtest picks this up when an
+/// EXPECT_EQ of two stats fails).
+std::ostream &operator<<(std::ostream &OS, const ExecutionStats &S);
 
 } // namespace halide
 

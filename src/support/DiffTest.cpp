@@ -50,17 +50,11 @@ int diffConcurrentFrames(const DiffOptions &Opts) {
 }
 
 /// Renders the stats fields the determinism contract covers, for
-/// mismatch diagnostics.
+/// mismatch diagnostics (the contract and rendering live with
+/// ExecutionStats itself; see runtime/Tracing.h).
 std::string statsSummary(const ExecutionStats &S) {
   std::ostringstream OS;
-  OS << "stores=" << S.totalStores() << " peak=" << S.PeakAllocationBytes
-     << " span=" << S.ParallelIterations << " loads={";
-  bool First = true;
-  for (const auto &[Name, Count] : S.LoadsPerBuffer) {
-    OS << (First ? "" : ",") << Name << ":" << Count;
-    First = false;
-  }
-  OS << "}";
+  OS << S;
   return OS.str();
 }
 
@@ -352,12 +346,7 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       else if (!buffersMatch(OutExec, OutThr, 0.0, 0, &Detail))
         R.Mismatches.push_back(
             {Desc, "threaded vs serial " + ExecName, Detail});
-      else if (ThrStats.StoresPerBuffer != SerialStats.StoresPerBuffer ||
-               ThrStats.LoadsPerBuffer != SerialStats.LoadsPerBuffer ||
-               ThrStats.PeakAllocationBytes !=
-                   SerialStats.PeakAllocationBytes ||
-               ThrStats.ParallelIterations !=
-                   SerialStats.ParallelIterations)
+      else if (ThrStats != SerialStats)
         R.Mismatches.push_back(
             {Desc, "threaded vs serial " + ExecName + " stats",
              "serial {" + statsSummary(SerialStats) + "} threaded {" +
@@ -441,12 +430,7 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       else if (!buffersMatch(CC.SerialOut, F.Out, 0.0, 0, &Detail))
         R.Mismatches.push_back(
             {CC.Desc, "concurrent vs sequential " + ExecName, Detail});
-      else if (F.Stats.StoresPerBuffer != CC.SerialStats.StoresPerBuffer ||
-               F.Stats.LoadsPerBuffer != CC.SerialStats.LoadsPerBuffer ||
-               F.Stats.PeakAllocationBytes !=
-                   CC.SerialStats.PeakAllocationBytes ||
-               F.Stats.ParallelIterations !=
-                   CC.SerialStats.ParallelIterations)
+      else if (F.Stats != CC.SerialStats)
         R.Mismatches.push_back(
             {CC.Desc, "concurrent vs sequential " + ExecName + " stats",
              "sequential {" + statsSummary(CC.SerialStats) +

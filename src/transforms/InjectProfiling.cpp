@@ -1,0 +1,118 @@
+//===-- transforms/InjectProfiling.cpp - Stage profiling markers ----------===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/InjectProfiling.h"
+
+#include "ir/IRMutator.h"
+#include "lang/Function.h"
+
+#include <vector>
+
+namespace halide {
+
+namespace {
+
+Stmt marker(const char *Intrinsic, const std::string &Stage) {
+  return Evaluate::make(Call::make(Int(32), Intrinsic,
+                                   {StringImm::make(Stage)},
+                                   CallType::Intrinsic));
+}
+
+/// Wraps \p Body in start/end markers for \p Stage.
+Stmt bracket(const std::string &Stage, Stmt Body) {
+  return Block::make(
+      marker(Call::ProfileStageStart, Stage),
+      Block::make(std::move(Body), marker(Call::ProfileStageEnd, Stage)));
+}
+
+class InjectProfiling : public IRMutator {
+public:
+  explicit InjectProfiling(const std::map<std::string, Function> &Env)
+      : Env(Env) {}
+
+private:
+  const std::map<std::string, Function> &Env;
+
+  /// Peels the LetStmt/AssertStmt preamble of a produce body and
+  /// flattens the Block chain underneath into \p Chain; returns the
+  /// peeled wrappers outermost-first so the caller can rebuild.
+  static void peel(const Stmt &S, std::vector<Stmt> &Wrappers,
+                   std::vector<Stmt> &Chain) {
+    Stmt Cur = S;
+    while (const LetStmt *L = Cur.as<LetStmt>()) {
+      Wrappers.push_back(Cur);
+      Cur = L->Body;
+    }
+    const Stmt *Walk = &Cur;
+    while (const Block *B = Walk->as<Block>()) {
+      Chain.push_back(B->First);
+      Walk = &B->Rest;
+    }
+    Chain.push_back(*Walk);
+  }
+
+  Stmt visit(const ProducerConsumer *Op) override {
+    Stmt Body = mutate(Op->Body);
+    if (!Op->IsProducer) {
+      // Consume bodies need no marker of their own: with a stage stack,
+      // the producer's end marker *is* the consume transition (the
+      // enclosing stage resumes accumulating self time).
+      if (Body.sameAs(Op->Body))
+        return Op;
+      return ProducerConsumer::make(Op->Name, Op->IsProducer, Body);
+    }
+    Body = bracketUpdates(Op->Name, std::move(Body));
+    return ProducerConsumer::make(Op->Name, true,
+                                  bracket(Op->Name, std::move(Body)));
+  }
+
+  /// Best-effort per-update sub-stages: when the produce body's top
+  /// Block chain (under its LetStmt preamble) has exactly 1 + #updates
+  /// statements, statements 1..N are the update stages in definition
+  /// order; bracket each as "name.update(k)". Anything else (folded
+  /// storage, fused loops) keeps whole-stage attribution only.
+  Stmt bracketUpdates(const std::string &Name, Stmt Body) {
+    auto It = Env.find(Name);
+    if (It == Env.end() || It->second.updates().empty())
+      return Body;
+    size_t NumUpdates = It->second.updates().size();
+    std::vector<Stmt> Wrappers, Chain;
+    peel(Body, Wrappers, Chain);
+    if (Chain.size() != 1 + NumUpdates)
+      return Body;
+    for (size_t K = 0; K < NumUpdates; ++K)
+      Chain[1 + K] = bracket(Name + ".update(" + std::to_string(K) + ")",
+                             Chain[1 + K]);
+    Stmt Rebuilt = Block::make(Chain);
+    for (auto W = Wrappers.rbegin(); W != Wrappers.rend(); ++W) {
+      const LetStmt *L = W->as<LetStmt>();
+      Rebuilt = LetStmt::make(L->Name, L->Value, Rebuilt);
+    }
+    return Rebuilt;
+  }
+};
+
+} // namespace
+
+LoweredPipeline injectProfiling(const LoweredPipeline &P) {
+  LoweredPipeline Out = P;
+  InjectProfiling M(P.Env);
+  // The whole pipeline body is the output stage's production; bracket it
+  // so time outside any inner producer (the output's own loops) is
+  // attributed to the output stage rather than lost.
+  Out.Body = M.mutate(P.Body);
+  if (!P.Body.defined())
+    return Out;
+  const std::string OutputName = P.Output.name();
+  bool OutputBracketed = false;
+  if (const ProducerConsumer *PC = P.Body.as<ProducerConsumer>())
+    OutputBracketed = PC->IsProducer && PC->Name == OutputName;
+  if (!OutputBracketed)
+    Out.Body = bracket(OutputName, Out.Body);
+  return Out;
+}
+
+} // namespace halide

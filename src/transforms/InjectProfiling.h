@@ -1,0 +1,44 @@
+//===-- transforms/InjectProfiling.h - Stage profiling markers --*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling instrumentation pass behind Target::Profile. Brackets
+/// every stage's produce body with Evaluate'd Call::ProfileStageStart /
+/// ProfileStageEnd intrinsics (one StringImm argument naming the stage),
+/// which each backend executes as a profilerEnter/profilerExit pair: the
+/// interpreter in evalCall, the VM via the ProfEnter/ProfExit bytecode
+/// ops, and JIT-compiled C through the runtime vtable's ProfEnter /
+/// ProfExit callbacks. Combined with the profiler's per-thread stage
+/// stack this reproduces real Halide's produce/update/consume
+/// attribution: entering a producer suspends the enclosing stage's self
+/// time (that is the consume transition), and when a produce body's
+/// statement chain is recognizably "init ; update(0) ; ..." each update
+/// is additionally bracketed as its own "name.update(k)" sub-stage.
+///
+/// The pass runs *after* lowering, in makeExecutable(), on a copy of the
+/// cached LoweredPipeline -- never inside lower() -- so the profile flag
+/// does not enter the lowering fingerprint, profile-on and profile-off
+/// targets share one cached lowering, and an off-target run executes
+/// bit-identical, marker-free code (the zero-cost-when-off guarantee
+/// ProfilerTest asserts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_INJECTPROFILING_H
+#define HALIDE_TRANSFORMS_INJECTPROFILING_H
+
+#include "transforms/Lower.h"
+
+namespace halide {
+
+/// Returns \p P with every ProducerConsumer produce body bracketed by
+/// profile markers (plus per-update sub-stages where the body structure
+/// permits). \p P itself is not modified.
+LoweredPipeline injectProfiling(const LoweredPipeline &P);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_INJECTPROFILING_H

@@ -60,6 +60,8 @@ const char *halide::vmOpName(VmOp Op) {
   case VmOp::AssertCond: return "assert";
   case VmOp::CallExtern: return "call";
   case VmOp::CountParallel: return "count_parallel";
+  case VmOp::ProfEnter: return "prof_enter";
+  case VmOp::ProfExit: return "prof_exit";
   case VmOp::Halt: return "halt";
   }
   return "unknown";
@@ -133,6 +135,10 @@ std::string VmProgram::disassemble() const {
       break;
     case VmOp::CountParallel:
       OS << " r" << In.A;
+      break;
+    case VmOp::ProfEnter:
+    case VmOp::ProfExit:
+      OS << " \"" << StageNames[size_t(In.Aux)] << "\"";
       break;
     case VmOp::ParFor: {
       const VmTaskDesc &T = Tasks[size_t(In.Dst)];

@@ -104,6 +104,13 @@ enum class VmOp : uint8_t {
   /// Stats.ParallelIterations += a[0] (entering a parallel/GPU loop).
   CountParallel,
 
+  // Profiler stage markers (present only in Target::Profile programs;
+  // see transforms/InjectProfiling.h). Aux indexes VmProgram::StageNames;
+  // the executable pre-resolves each name to a process-wide stage id so
+  // dispatch is a table lookup plus profilerEnter/profilerExit.
+  ProfEnter, ///< enter stage StageNames[Aux]
+  ProfExit,  ///< exit stage StageNames[Aux]
+
   Halt, ///< end of program
 };
 
@@ -188,6 +195,9 @@ struct VmProgram {
   std::vector<std::string> Messages;
   /// Parallel task entry points (ParFor's Dst indexes this).
   std::vector<VmTaskDesc> Tasks;
+  /// Stage-name pool for ProfEnter/ProfExit (Aux indexes this). Empty in
+  /// uninstrumented programs.
+  std::vector<std::string> StageNames;
 
   /// Human-readable listing of the whole program (tests, debugging).
   std::string disassemble() const;

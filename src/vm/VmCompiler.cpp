@@ -53,6 +53,16 @@ private:
     return Prog.Code.size() - 1;
   }
 
+  /// Index of \p Name in the program's stage-name pool (appending it on
+  /// first use). Marker pairs for one stage share an entry.
+  int32_t internStageName(const std::string &Name) {
+    for (size_t I = 0; I < Prog.StageNames.size(); ++I)
+      if (Prog.StageNames[I] == Name)
+        return int32_t(I);
+    Prog.StageNames.push_back(Name);
+    return int32_t(Prog.StageNames.size() - 1);
+  }
+
   /// A register pre-loaded with a scalar integer constant (deduplicated).
   uint32_t constInt(int64_t Value) {
     auto It = IntConsts.find(Value);
@@ -397,11 +407,26 @@ private:
     case IRNodeKind::Evaluate: {
       const Evaluate *Op = S.as<Evaluate>();
       // Pure expressions evaluated for side effects only reduce to the
-      // trace hook, which the VM drops entirely.
+      // trace hook, which the VM drops entirely, and the profile markers,
+      // which compile to dedicated ops with the stage name interned in
+      // the program's StageNames pool (the executable resolves names to
+      // process-wide ids once, at load).
       const Call *C = Op->Value.as<Call>();
-      if (C && C->CallKind == CallType::Intrinsic &&
-          C->Name == Call::TracePoint)
-        return;
+      if (C && C->CallKind == CallType::Intrinsic) {
+        if (C->Name == Call::TracePoint)
+          return;
+        if (C->Name == Call::ProfileStageStart ||
+            C->Name == Call::ProfileStageEnd) {
+          const StringImm *Stage = C->Args.at(0).as<StringImm>();
+          internal_assert(Stage) << "vm: profile marker without stage name";
+          VmInstr In;
+          In.Op = C->Name == Call::ProfileStageStart ? VmOp::ProfEnter
+                                                     : VmOp::ProfExit;
+          In.Aux = internStageName(Stage->Value);
+          emit(In);
+          return;
+        }
+      }
       compileExpr(Op->Value);
       return;
     }
@@ -564,6 +589,8 @@ private:
     case VmOp::Jump:
     case VmOp::FreeOp:
     case VmOp::TaskRet:
+    case VmOp::ProfEnter:
+    case VmOp::ProfExit:
     case VmOp::Halt:
       break;
     default:

@@ -2,6 +2,7 @@
 
 #include "vm/VmExecutable.h"
 
+#include "observe/Profiler.h"
 #include "runtime/TaskScheduler.h"
 #include "vm/VmCompiler.h"
 
@@ -146,8 +147,8 @@ void releaseContext(std::unique_ptr<VmContext> C) {
 class Runner {
 public:
   Runner(const VmProgram &Prog, const std::vector<uint8_t> &Kinds,
-         int Threads)
-      : Prog(Prog), Kinds(Kinds), Threads(Threads) {}
+         const std::vector<int> &StageIds, int Threads)
+      : Prog(Prog), Kinds(Kinds), StageIds(StageIds), Threads(Threads) {}
 
   /// Executes from \p StartPC until Halt or TaskRet.
   void exec(VmContext &C, size_t PC) const;
@@ -163,6 +164,7 @@ private:
 
   const VmProgram &Prog;
   const std::vector<uint8_t> &Kinds; ///< ElemKind per buffer slot
+  const std::vector<int> &StageIds;  ///< profiler id per StageNames entry
   const int Threads; ///< effective thread request (>= 1)
 };
 
@@ -458,6 +460,13 @@ void Runner::exec(VmContext &C, size_t PC) const {
       C.Shard.ParallelIters += R[In.A].I;
       break;
 
+    case VmOp::ProfEnter:
+      profilerEnter(StageIds[size_t(In.Aux)]);
+      break;
+    case VmOp::ProfExit:
+      profilerExit(StageIds[size_t(In.Aux)]);
+      break;
+
     case VmOp::Halt:
       return;
     }
@@ -537,6 +546,9 @@ VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
   BufKinds.reserve(Prog.Buffers.size());
   for (const VmBufferDesc &Desc : Prog.Buffers)
     BufKinds.push_back(uint8_t(elemKindOf(Desc.ElemType)));
+  StageIds.reserve(Prog.StageNames.size());
+  for (const std::string &Name : Prog.StageNames)
+    StageIds.push_back(profilerStageId(Name));
 }
 
 std::shared_ptr<const VmExecutable> halide::vmCompile(
@@ -592,7 +604,7 @@ int VmExecutable::run(const ParamBindings &Params,
 
   const int Threads =
       T.NumThreads > 0 ? T.NumThreads : taskSchedulerThreads();
-  Runner R(Prog, BufKinds, Threads < 1 ? 1 : Threads);
+  Runner R(Prog, BufKinds, StageIds, Threads < 1 ? 1 : Threads);
   R.exec(Root, 0);
 
   if (Stats) {

@@ -63,6 +63,10 @@ private:
   /// Per-buffer element kinds (vm/VmExecutable.cpp's ElemKind), computed
   /// at compile time so runs do not rebuild the table per frame.
   std::vector<uint8_t> BufKinds;
+  /// Process-wide profiler stage ids, one per Prog.StageNames entry
+  /// (resolved once here so ProfEnter/ProfExit dispatch is a table
+  /// lookup). Empty for uninstrumented programs.
+  std::vector<int> StageIds;
   mutable std::once_flag ListingOnce;
   mutable std::string Listing;
 };

@@ -42,10 +42,9 @@ void expectStatsParity(App &A, int W, int H) {
   ExecutionStats I = statsOn(A, Target::interpreter(), W, H);
   ExecutionStats V = statsOn(A, Target::vm(), W, H);
 
-  EXPECT_EQ(I.StoresPerBuffer, V.StoresPerBuffer) << A.Name;
-  EXPECT_EQ(I.LoadsPerBuffer, V.LoadsPerBuffer) << A.Name;
-  EXPECT_EQ(I.PeakAllocationBytes, V.PeakAllocationBytes) << A.Name;
-  EXPECT_EQ(I.ParallelIterations, V.ParallelIterations) << A.Name;
+  // ExecutionStats::operator== is the determinism contract (loads,
+  // stores, peak allocation, span); mismatches print via operator<<.
+  EXPECT_EQ(I, V) << A.Name;
   // Both engines saw real work.
   EXPECT_GT(V.totalStores(), 0) << A.Name;
 }
@@ -65,12 +64,7 @@ void expectThreadedStatsDeterminism(App &A, int W, int H) {
       statsOn(A, Target::vm().withThreads(4), W, H, &OutT, &KeepT);
   setTaskSchedulerThreads(Before);
 
-  EXPECT_EQ(Serial.StoresPerBuffer, Threaded.StoresPerBuffer) << A.Name;
-  EXPECT_EQ(Serial.LoadsPerBuffer, Threaded.LoadsPerBuffer) << A.Name;
-  EXPECT_EQ(Serial.PeakAllocationBytes, Threaded.PeakAllocationBytes)
-      << A.Name;
-  EXPECT_EQ(Serial.ParallelIterations, Threaded.ParallelIterations)
-      << A.Name;
+  EXPECT_EQ(Serial, Threaded) << A.Name;
   EXPECT_GT(Threaded.ParallelIterations, 0)
       << A.Name << ": schedule has no parallel loop to thread";
   std::string Detail;
@@ -131,8 +125,5 @@ TEST(ExecutionStatsParityTest, ThreadedMatchesInterpreterStats) {
   setTaskSchedulerThreads(4);
   ExecutionStats V = statsOn(A, Target::vm().withThreads(4), 96, 64);
   setTaskSchedulerThreads(Before);
-  EXPECT_EQ(I.StoresPerBuffer, V.StoresPerBuffer);
-  EXPECT_EQ(I.LoadsPerBuffer, V.LoadsPerBuffer);
-  EXPECT_EQ(I.PeakAllocationBytes, V.PeakAllocationBytes);
-  EXPECT_EQ(I.ParallelIterations, V.ParallelIterations);
+  EXPECT_EQ(I, V);
 }

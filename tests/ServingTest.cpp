@@ -69,12 +69,9 @@ Buffer<float> makeInput(int W, int H) {
   return In;
 }
 
-bool statsEqual(const ExecutionStats &A, const ExecutionStats &B) {
-  return A.StoresPerBuffer == B.StoresPerBuffer &&
-         A.LoadsPerBuffer == B.LoadsPerBuffer &&
-         A.PeakAllocationBytes == B.PeakAllocationBytes &&
-         A.ParallelIterations == B.ParallelIterations;
-}
+// Stats comparison rides on ExecutionStats::operator== (the determinism
+// contract lives in runtime/Tracing.h, shared with the differential
+// harness and the parity tests).
 
 int countJitTempDirs() {
   int Count = 0;
@@ -111,7 +108,7 @@ TEST(ServingTest, ConcurrentFramesOfOnePipelineMatchSequential) {
   for (int F = 0; F < Frames; ++F) {
     ExecutionStats S = Futures[size_t(F)].wait();
     EXPECT_TRUE(Futures[size_t(F)].done());
-    EXPECT_TRUE(statsEqual(S, RefStats)) << "frame " << F;
+    EXPECT_EQ(S, RefStats) << "frame " << F;
     for (int Y = 0; Y < H; ++Y)
       for (int X = 0; X < W; ++X)
         ASSERT_EQ(Outs[size_t(F)](X, Y), Ref(X, Y))
@@ -148,7 +145,7 @@ TEST(ServingTest, ConcurrentFramesOfDifferentPipelinesMatchSequential) {
                                         (Variants - V) % 2));
   for (int V = 0; V < Variants; ++V) {
     ExecutionStats S = Futures[size_t(V)].wait();
-    EXPECT_TRUE(statsEqual(S, RefStats[size_t(V)])) << "variant " << V;
+    EXPECT_EQ(S, RefStats[size_t(V)]) << "variant " << V;
     for (int Y = 0; Y < H; ++Y)
       for (int X = 0; X < W; ++X)
         ASSERT_EQ(Outs[size_t(V)](X, Y), Refs[size_t(V)](X, Y))
