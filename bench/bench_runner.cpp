@@ -28,9 +28,19 @@
 // has cores warns and is recorded in the JSON baseline
 // (threads_oversubscribed), since such rows time contention, not speedup.
 //
+// Every single-frame row records the schedule's requested vector width
+// (vector_width in the JSON; 1 = scalar), so SIMD regressions show up in
+// the baseline. --novec demotes each schedule's vectorized loops to
+// serial before compiling (splits intact — the same loop structure minus
+// the lanes), and --jit-flags overrides the C backend's host-compiler
+// flags: together they isolate the emitted SIMD's contribution, e.g.
+//   bench_runner --backend=jit --app=blur [--novec]
+//                --jit-flags "-O3 -fno-tree-vectorize"
+//
 // Usage: bench_runner [--backend interp|vm|jit|gpu] [--threads N]
 //                     [--json <path>] [--width W] [--height H]
-//                     [--iters N] [--no-thread-sweep] [--app <name>]
+//                     [--iters N] [--no-thread-sweep] [--novec]
+//                     [--jit-flags <flags>] [--app <name>]
 //                     [--serve] [--serve-clients N] [--serve-frames M]
 //                     [--profile] [--trace <path>]
 //
@@ -62,10 +72,16 @@ struct BenchRow {
   std::string Schedule;
   std::string BackendName;
   int Threads = 1;
+  int VecWidth = 1;
   int Width = 0, Height = 0;
   double Ms = 0;
   double NsPerPixel = 0;
 };
+
+/// --novec: after each schedule is applied, demote its vectorized loops
+/// to serial (splits intact). Comparing a run against its --novec twin
+/// isolates the SIMD contribution of an otherwise identical schedule.
+bool ScalarizeSchedules = false;
 
 void runOne(App &A, const char *ScheduleName,
             const std::function<void()> &Apply, const Target &T, int W,
@@ -73,6 +89,8 @@ void runOne(App &A, const char *ScheduleName,
   if (!Apply)
     return;
   Apply();
+  if (ScalarizeSchedules)
+    scalarizeVectorLoops(A.Output.function());
   std::shared_ptr<const Executable> Exe = Pipeline(A.Output).compile(T);
   ParamBindings Params = A.MakeInputs(W, H);
   std::shared_ptr<void> Keep;
@@ -88,14 +106,16 @@ void runOne(App &A, const char *ScheduleName,
   Row.Threads = T.TargetBackend == Backend::Interpreter ? 1
                 : T.NumThreads > 0 ? T.NumThreads
                                    : taskSchedulerThreads();
+  Row.VecWidth = scheduleVectorWidth(A.Output.function());
   Row.Width = W;
   Row.Height = H;
   Row.Ms = Ms;
   Row.NsPerPixel = Ms * 1e6 / (double(W) * H);
   Rows->push_back(Row);
-  std::printf("%-16s %-14s %-11s t%-2d %4dx%-4d %9.3f ms  %8.3f ns/px\n",
-              A.Name.c_str(), ScheduleName, Row.BackendName.c_str(),
-              Row.Threads, W, H, Ms, Row.NsPerPixel);
+  std::printf(
+      "%-16s %-14s %-11s t%-2d v%-2d %4dx%-4d %9.3f ms  %8.3f ns/px\n",
+      A.Name.c_str(), ScheduleName, Row.BackendName.c_str(), Row.Threads,
+      Row.VecWidth, W, H, Ms, Row.NsPerPixel);
 }
 
 struct ServeRow {
@@ -248,6 +268,12 @@ int main(int Argc, char **Argv) {
       Iters = std::atoi(Argv[++I]);
     else if (Arg == "--no-thread-sweep")
       ThreadSweep = false;
+    else if (Arg == "--novec")
+      ScalarizeSchedules = true;
+    else if (Arg.rfind("--jit-flags=", 0) == 0)
+      T = T.withJitFlags(Arg.substr(std::strlen("--jit-flags=")));
+    else if (Arg == "--jit-flags" && I + 1 < Argc)
+      T = T.withJitFlags(Argv[++I]);
     else if (Arg == "--serve")
       Serve = true;
     else if (Arg == "--serve-clients" && I + 1 < Argc)
@@ -268,7 +294,8 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: %s [--backend interp|vm|jit|gpu] [--threads N] "
                    "[--json <path>] [--width W] [--height H] [--iters N] "
-                   "[--no-thread-sweep] [--app <name>] [--serve] "
+                   "[--no-thread-sweep] [--novec] [--jit-flags <flags>] "
+                   "[--app <name>] [--serve] "
                    "[--serve-clients N] [--serve-frames M] [--profile] "
                    "[--trace <path>]\n",
                    Argv[0]);
@@ -364,7 +391,9 @@ int main(int Argc, char **Argv) {
       const BenchRow &R = Rows[I];
       Json << "    {\"app\": \"" << R.App << "\", \"schedule\": \""
            << R.Schedule << "\", \"backend\": \"" << R.BackendName
-           << "\", \"threads\": " << R.Threads << ", \"ms\": " << R.Ms
+           << "\", \"threads\": " << R.Threads
+           << ", \"vector_width\": " << R.VecWidth
+           << ", \"ms\": " << R.Ms
            << ", \"ns_per_pixel\": " << R.NsPerPixel << "}"
            << (I + 1 < Rows.size() ? "," : "") << "\n";
     }

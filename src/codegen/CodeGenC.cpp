@@ -48,6 +48,74 @@ std::string cTypeOf(Type T) {
   return T.isVector() ? vecCType(T) : scalarCType(T);
 }
 
+/// True when this vector type can be represented as a GCC/Clang native
+/// vector (__attribute__((vector_size(N)))). GCC requires a power-of-two
+/// lane count; everything vectorize() produces in practice (4/8/16) is.
+/// Other lane counts keep the portable struct-of-lanes fallback.
+bool nativeVectorOk(Type T) {
+  if (!T.isVector() || T.isHandle())
+    return false;
+  int L = T.Lanes;
+  return L >= 2 && (L & (L - 1)) == 0;
+}
+
+/// Integer vector type used for mask algebra and shuffle masks of T:
+/// signed, same element width, same lane count. Vector compares on T
+/// produce exactly this shape, and same-size vector casts reinterpret.
+Type vecMaskType(Type T) {
+  return Int(T.isBool() ? 8 : T.element().Bits, T.Lanes);
+}
+
+/// How a vector operation lowers onto native vectors. One row per IR op:
+/// new vector ops land in the table below and are picked up by
+/// CodeGen::vectorOpHelper without touching the per-op emitters.
+enum class VecShape {
+  Infix,     ///< lanewise infix arithmetic: a <op> b
+  BoolLogic, ///< bitwise logic on 0/1 boolean vectors: a <op> b
+  Compare,   ///< a <op> b, narrowed to a 0/1 boolean vector
+  MinMax,    ///< native compare + mask blend
+  FloorDiv,  ///< branch-free floor division with x/0 == 0
+  FloorMod,  ///< branch-free floor remainder with x%0 == 0
+};
+
+struct VecOpRule {
+  const char *Name; ///< helper suffix ("add", "lt", ...)
+  const char *COp;  ///< C infix operator used in the body
+  VecShape Shape;
+};
+
+const VecOpRule *vecOpRule(const std::string &Name) {
+  static const VecOpRule Table[] = {
+      // Dense arithmetic ("div" is the float-only true division; integer
+      // division routes through the FloorDiv/FloorMod rows).
+      {"add", "+", VecShape::Infix},
+      {"sub", "-", VecShape::Infix},
+      {"mul", "*", VecShape::Infix},
+      {"div", "/", VecShape::Infix},
+      // Comparisons, narrowed to 0/1 boolean vectors.
+      {"eq", "==", VecShape::Compare},
+      {"ne", "!=", VecShape::Compare},
+      {"lt", "<", VecShape::Compare},
+      {"le", "<=", VecShape::Compare},
+      {"gt", ">", VecShape::Compare},
+      {"ge", ">=", VecShape::Compare},
+      // Logic on boolean vectors (lanes hold 0/1, so bitwise == logical).
+      {"and", "&", VecShape::BoolLogic},
+      {"or", "|", VecShape::BoolLogic},
+      {"xor1", "^", VecShape::BoolLogic},
+      // Compare + blend.
+      {"min", "<", VecShape::MinMax},
+      {"max", ">", VecShape::MinMax},
+      // Euclidean-style floor division (matches the interpreter and VM).
+      {"fdiv", "/", VecShape::FloorDiv},
+      {"mod", "%", VecShape::FloorMod},
+  };
+  for (const VecOpRule &R : Table)
+    if (Name == R.Name)
+      return &R;
+  return nullptr;
+}
+
 /// Sanitizes an IR name into a C identifier fragment.
 std::string sanitize(const std::string &Name) {
   std::string Out;
@@ -150,9 +218,31 @@ private:
     std::string Name = vecCType(T);
     if (!EmittedHelpers.insert("type:" + Name).second)
       return;
-    TypedefText << "typedef struct " << Name << " { "
-                << scalarCType(T.element()) << " v[" << T.Lanes
-                << "]; } " << Name << ";\n";
+    if (nativeVectorOk(T)) {
+      int ElemBytes = T.isBool() ? 1 : T.element().Bits / 8;
+      TypedefText << "typedef " << scalarCType(T.element()) << " " << Name
+                  << " __attribute__((vector_size(" << T.Lanes * ElemBytes
+                  << ")));\n";
+    } else {
+      TypedefText << "typedef struct " << Name << " { "
+                  << scalarCType(T.element()) << " v[" << T.Lanes
+                  << "]; } " << Name << ";\n";
+    }
+  }
+
+  /// Lane accessor valid in generated helpers: native vectors subscript
+  /// directly, the struct fallback goes through its array member.
+  static std::string laneRef(Type T, const std::string &V,
+                             const std::string &I) {
+    return V + (nativeVectorOk(T) ? "[" : ".v[") + I + "]";
+  }
+
+  /// Compound-literal lane list "{f(0), f(1), ...}" for native vectors.
+  template <typename Fn> static std::string laneList(int Lanes, Fn F) {
+    std::string Out = "{";
+    for (int L = 0; L < Lanes; ++L)
+      Out += (L ? ", " : "") + F(L);
+    return Out + "}";
   }
 
   /// Emits a helper definition once; Key identifies it, Definition is the
@@ -201,36 +291,111 @@ private:
     return Name;
   }
 
-  /// Elementwise binary vector helper; Op is a C infix operator or the
-  /// name of a scalar helper (detected by an alphabetic first character).
-  std::string vectorBinaryHelper(Type T, const std::string &OpName,
-                                 const std::string &Scalar) {
+  /// Emits (once) and names the helper implementing vector op OpName on
+  /// operand type T, consulting the op table above. Power-of-two lane
+  /// counts get native-vector bodies (single SIMD expressions, mask
+  /// algebra for blends since C lacks a vector ?:); other lane counts get
+  /// the portable struct lane loop. T is the operand type; Compare-shaped
+  /// ops return the matching boolean vector.
+  std::string vectorOpHelper(Type T, const std::string &OpName) {
+    const VecOpRule *Rule = vecOpRule(OpName);
+    internal_assert(Rule) << "codegen: no vector op rule for " << OpName;
     needVectorType(T);
     std::string VT = vecCType(T);
     std::string Name = VT + "_" + OpName;
-    bool Fn = !Scalar.empty() && (isalpha(Scalar[0]) || Scalar[0] == '_');
-    std::string Body =
-        Fn ? "r.v[l] = " + Scalar + "(a.v[l], b.v[l]);"
-           : "r.v[l] = a.v[l] " + Scalar + " b.v[l];";
-    needHelper(Name, "static inline " + VT + " " + Name + "(" + VT + " a, " +
-                         VT + " b) {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes, Body) + "  return r;\n}");
-    return Name;
-  }
+    if (EmittedHelpers.count(Name))
+      return Name;
 
-  std::string vectorCompareHelper(Type T, const std::string &OpName,
-                                  const std::string &COp) {
-    needVectorType(T);
-    Type BT = Bool(T.Lanes);
-    needVectorType(BT);
-    std::string VT = vecCType(T), BVT = vecCType(BT);
-    std::string Name = VT + "_" + OpName;
-    needHelper(Name,
-               "static inline " + BVT + " " + Name + "(" + VT + " a, " + VT +
-                   " b) {\n  " + BVT + " r;\n" +
-                   laneLoop(T.Lanes,
-                            "r.v[l] = a.v[l] " + COp + " b.v[l] ? 1 : 0;") +
-                   "  return r;\n}");
+    std::string RetVT = VT;
+    if (Rule->Shape == VecShape::Compare) {
+      needVectorType(Bool(T.Lanes));
+      RetVT = vecCType(Bool(T.Lanes));
+    }
+    std::string COp = Rule->COp;
+    std::ostringstream Def;
+    Def << "static inline " << RetVT << " " << Name << "(" << VT << " a, "
+        << VT << " b) {\n";
+
+    if (!nativeVectorOk(T)) {
+      // Portable lane-loop fallback (non-power-of-two lane counts).
+      switch (Rule->Shape) {
+      case VecShape::Infix:
+      case VecShape::BoolLogic:
+        Def << "  " << VT << " r;\n"
+            << laneLoop(T.Lanes, "r.v[l] = a.v[l] " + COp + " b.v[l];")
+            << "  return r;\n}";
+        break;
+      case VecShape::Compare:
+        Def << "  " << RetVT << " r;\n"
+            << laneLoop(T.Lanes,
+                        "r.v[l] = a.v[l] " + COp + " b.v[l] ? 1 : 0;")
+            << "  return r;\n}";
+        break;
+      case VecShape::MinMax: {
+        std::string Scalar = scalarMinMaxHelper(T.element(), OpName == "max");
+        Def << "  " << VT << " r;\n"
+            << laneLoop(T.Lanes, "r.v[l] = " + Scalar + "(a.v[l], b.v[l]);")
+            << "  return r;\n}";
+        break;
+      }
+      case VecShape::FloorDiv:
+      case VecShape::FloorMod: {
+        std::string Scalar = scalarDivHelper(
+            T.element(), Rule->Shape == VecShape::FloorMod);
+        Def << "  " << VT << " r;\n"
+            << laneLoop(T.Lanes, "r.v[l] = " + Scalar + "(a.v[l], b.v[l]);")
+            << "  return r;\n}";
+        break;
+      }
+      }
+      needHelper(Name, Def.str());
+      return Name;
+    }
+
+    Type MaskT = vecMaskType(T);
+    needVectorType(MaskT);
+    std::string MT = vecCType(MaskT);
+    switch (Rule->Shape) {
+    case VecShape::Infix:
+    case VecShape::BoolLogic:
+      Def << "  return a " << COp << " b;\n}";
+      break;
+    case VecShape::Compare:
+      // Vector compares yield full-width 0/-1 masks; narrow to the 0/1
+      // boolean vector the IR expects.
+      Def << "  return __builtin_convertvector((a " << COp << " b) & 1, "
+          << RetVT << ");\n}";
+      break;
+    case VecShape::MinMax:
+      // Blend through the same-width integer mask: C has no vector ?:.
+      Def << "  " << MT << " m = a " << COp << " b;\n"
+          << "  return (" << VT << ")(((" << MT << ")a & m) | ((" << MT
+          << ")b & ~m));\n}";
+      break;
+    case VecShape::FloorDiv:
+    case VecShape::FloorMod: {
+      bool IsMod = Rule->Shape == VecShape::FloorMod;
+      // Branch-free: substitute 1 for zero divisors, divide, then zero the
+      // affected lanes; signed types additionally floor-adjust lanes whose
+      // remainder sign differs from the divisor's.
+      Def << "  " << VT << " bz = (" << VT << ")(b == 0);\n"
+          << "  " << VT << " bs = b | (bz & 1);\n";
+      if (T.element().isInt()) {
+        Def << "  " << VT << " q = a / bs;\n"
+            << "  " << VT << " r = a - q * bs;\n"
+            << "  " << VT << " adj = (" << VT
+            << ")((r != 0) & ((r ^ bs) < 0));\n";
+        if (IsMod)
+          Def << "  r += bs & adj;\n  return r & ~bz;\n}";
+        else
+          Def << "  q += adj;\n  return q & ~bz;\n}";
+      } else {
+        Def << "  return (a " << (IsMod ? "%" : "/") << " bs) & ~bz;\n}";
+      }
+      break;
+    }
+    }
+    needHelper(Name, Def.str());
     return Name;
   }
 
@@ -238,9 +403,15 @@ private:
     needVectorType(T);
     std::string VT = vecCType(T), CT = scalarCType(T.element());
     std::string Name = VT + "_splat";
+    std::string Body;
+    if (nativeVectorOk(T))
+      Body = "  return (" + VT + ")" +
+             laneList(T.Lanes, [](int) { return std::string("x"); }) + ";\n}";
+    else
+      Body = "  " + VT + " r;\n" + laneLoop(T.Lanes, "r.v[l] = x;") +
+             "  return r;\n}";
     needHelper(Name, "static inline " + VT + " " + Name + "(" + CT +
-                         " x) {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes, "r.v[l] = x;") + "  return r;\n}");
+                         " x) {\n" + Body);
     return Name;
   }
 
@@ -248,11 +419,20 @@ private:
     needVectorType(T);
     std::string VT = vecCType(T), CT = scalarCType(T.element());
     std::string Name = VT + "_ramp";
+    std::string Body;
+    if (nativeVectorOk(T))
+      // One broadcast-add over the iota constant; folds to a single
+      // vector op after constant propagation.
+      Body = "  return base + (" + VT + ")" +
+             laneList(T.Lanes,
+                      [&](int L) { return "(" + CT + ")" + std::to_string(L); }) +
+             " * stride;\n}";
+    else
+      Body = "  " + VT + " r;\n" +
+             laneLoop(T.Lanes, "r.v[l] = base + (" + CT + ")l * stride;") +
+             "  return r;\n}";
     needHelper(Name, "static inline " + VT + " " + Name + "(" + CT +
-                         " base, " + CT + " stride) {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes,
-                                  "r.v[l] = base + (" + CT + ")l * stride;") +
-                         "  return r;\n}");
+                         " base, " + CT + " stride) {\n" + Body);
     return Name;
   }
 
@@ -262,12 +442,24 @@ private:
     needVectorType(BT);
     std::string VT = vecCType(T), BVT = vecCType(BT);
     std::string Name = VT + "_select";
+    std::string Body;
+    if (nativeVectorOk(T)) {
+      // Widen the 0/1 byte mask to element width, turn it into a 0/-1
+      // mask, then blend bitwise (C has no vector ?:). Float payloads
+      // round-trip through the same-size integer vector.
+      Type MaskT = vecMaskType(T);
+      needVectorType(MaskT);
+      std::string MT = vecCType(MaskT);
+      Body = "  " + MT + " w = __builtin_convertvector(m, " + MT +
+             ") != 0;\n  return (" + VT + ")(((" + MT + ")a & w) | ((" + MT +
+             ")b & ~w));\n}";
+    } else {
+      Body = "  " + VT + " r;\n" +
+             laneLoop(T.Lanes, "r.v[l] = m.v[l] ? a.v[l] : b.v[l];") +
+             "  return r;\n}";
+    }
     needHelper(Name, "static inline " + VT + " " + Name + "(" + BVT +
-                         " m, " + VT + " a, " + VT + " b) {\n  " + VT +
-                         " r;\n" +
-                         laneLoop(T.Lanes, "r.v[l] = m.v[l] ? a.v[l] : "
-                                           "b.v[l];") +
-                         "  return r;\n}");
+                         " m, " + VT + " a, " + VT + " b) {\n" + Body);
     return Name;
   }
 
@@ -290,14 +482,174 @@ private:
     return Name;
   }
 
+  /// Dense load of the Lanes preceding-and-including *p in reverse order:
+  /// the vector equivalent of a stride -1 ramp (e.g. mirrored boundaries).
+  /// One contiguous load + lane reverse instead of Lanes scalar gathers.
+  std::string vectorReverseLoadHelper(Type T) {
+    needVectorType(T);
+    std::string VT = vecCType(T), CT = scalarCType(T.element());
+    std::string Name = VT + "_load_rev";
+    std::string Body;
+    if (nativeVectorOk(T)) {
+      Type MaskT = vecMaskType(T);
+      needVectorType(MaskT);
+      Body = "  " + VT + " r;\n  memcpy(&r, p, sizeof(r));\n  return "
+             "__builtin_shuffle(r, (" + vecCType(MaskT) + ")" +
+             laneList(T.Lanes,
+                      [&](int L) { return std::to_string(T.Lanes - 1 - L); }) +
+             ");\n}";
+    } else {
+      Body = "  " + VT + " r;\n" +
+             laneLoop(T.Lanes,
+                      "r.v[l] = p[" + std::to_string(T.Lanes - 1) + " - l];") +
+             "  return r;\n}";
+    }
+    needHelper(Name, "static inline " + VT + " " + Name + "(const " + CT +
+                         " *p) {\n" + Body);
+    return Name;
+  }
+
+  /// Dense store of x's lanes in reverse order starting at *p; the store
+  /// counterpart of vectorReverseLoadHelper.
+  std::string vectorReverseStoreHelper(Type T) {
+    needVectorType(T);
+    std::string VT = vecCType(T), CT = scalarCType(T.element());
+    std::string Name = VT + "_store_rev";
+    std::string Body;
+    if (nativeVectorOk(T)) {
+      Type MaskT = vecMaskType(T);
+      needVectorType(MaskT);
+      Body = "  x = __builtin_shuffle(x, (" + vecCType(MaskT) + ")" +
+             laneList(T.Lanes,
+                      [&](int L) { return std::to_string(T.Lanes - 1 - L); }) +
+             ");\n  memcpy(p, &x, sizeof(x));\n}";
+    } else {
+      Body = laneLoop(T.Lanes,
+                      "p[" + std::to_string(T.Lanes - 1) + " - l] = x.v[l];") +
+             "}";
+    }
+    needHelper(Name, "static inline void " + Name + "(" + CT + " *p, " + VT +
+                         " x) {\n" + Body);
+    return Name;
+  }
+
+  /// A vector load index of the form Off + clamp(ramp(Base, 1, L), Lo,
+  /// Hi) — the shape every clamped-boundary stencil tap lowers to. All
+  /// four pieces are scalar expressions; Off may be undefined (zero).
+  struct ClampedRampIndex {
+    Expr Off;
+    Expr Base;
+    Expr Lo, Hi;
+  };
+
+  static bool matchClampedRampIndex(const Expr &Index,
+                                    ClampedRampIndex *Out) {
+    auto UnitRamp = [](const Expr &E) -> const Ramp * {
+      const Ramp *R = E.as<Ramp>();
+      int64_t Stride;
+      return R && asConstInt(R->Stride, &Stride) && Stride == 1 ? R
+                                                                : nullptr;
+    };
+    // The clamp core, in either nesting order (the simplifier does not
+    // canonicalize min-of-max vs max-of-min) and with the broadcast on
+    // either side of each node.
+    if (const Max *M = Index.as<Max>()) {
+      const Min *Inner = M->A.as<Min>() ? M->A.as<Min>() : M->B.as<Min>();
+      const Broadcast *Lo =
+          M->A.as<Min>() ? M->B.as<Broadcast>() : M->A.as<Broadcast>();
+      if (Inner && Lo) {
+        const Ramp *R = UnitRamp(Inner->A) ? UnitRamp(Inner->A)
+                                           : UnitRamp(Inner->B);
+        const Broadcast *Hi = UnitRamp(Inner->A)
+                                  ? Inner->B.as<Broadcast>()
+                                  : Inner->A.as<Broadcast>();
+        if (R && Hi) {
+          Out->Base = R->Base;
+          Out->Lo = Lo->Value;
+          Out->Hi = Hi->Value;
+          return true;
+        }
+      }
+    }
+    if (const Min *M = Index.as<Min>()) {
+      const Max *Inner = M->A.as<Max>() ? M->A.as<Max>() : M->B.as<Max>();
+      const Broadcast *Hi =
+          M->A.as<Max>() ? M->B.as<Broadcast>() : M->A.as<Broadcast>();
+      if (Inner && Hi) {
+        const Ramp *R = UnitRamp(Inner->A) ? UnitRamp(Inner->A)
+                                           : UnitRamp(Inner->B);
+        const Broadcast *Lo = UnitRamp(Inner->A)
+                                  ? Inner->B.as<Broadcast>()
+                                  : Inner->A.as<Broadcast>();
+        if (R && Lo) {
+          Out->Base = R->Base;
+          Out->Lo = Lo->Value;
+          Out->Hi = Hi->Value;
+          return true;
+        }
+      }
+    }
+    // Affine wrappers: a broadcast added to / subtracted from the clamp
+    // folds into the scalar byte offset.
+    auto AddOff = [Out](const Expr &E, bool Negate) {
+      Expr Term = Negate ? Sub::make(makeZero(E.type()), E) : E;
+      Out->Off = Out->Off.defined() ? Add::make(Out->Off, Term) : Term;
+    };
+    if (const Add *A = Index.as<Add>()) {
+      if (const Broadcast *B = A->B.as<Broadcast>())
+        if (matchClampedRampIndex(A->A, Out)) {
+          AddOff(B->Value, false);
+          return true;
+        }
+      if (const Broadcast *B = A->A.as<Broadcast>())
+        if (matchClampedRampIndex(A->B, Out)) {
+          AddOff(B->Value, false);
+          return true;
+        }
+    }
+    if (const Sub *S = Index.as<Sub>())
+      if (const Broadcast *B = S->B.as<Broadcast>())
+        if (matchClampedRampIndex(S->A, Out)) {
+          AddOff(B->Value, true);
+          return true;
+        }
+    return false;
+  }
+
+  /// Load of Lanes elements at clamp(base + l, lo, hi) + off: a dense
+  /// contiguous load whenever the whole lane range sits inside [lo, hi]
+  /// (the interior of a clamped-boundary stencil — almost every
+  /// iteration), a per-lane clamping gather on the boundary columns.
+  std::string vectorClampedLoadHelper(Type T) {
+    needVectorType(T);
+    std::string VT = vecCType(T), CT = scalarCType(T.element());
+    std::string Name = VT + "_load_clamped";
+    std::string Body =
+        "  " + VT + " r;\n  if (lo <= base && base + " +
+        std::to_string(T.Lanes - 1) +
+        " <= hi) {\n    memcpy(&r, p + off + base, sizeof(r));\n    "
+        "return r;\n  }\n" +
+        laneLoop(T.Lanes, "{ int32_t i = base + l; i = i < lo ? lo : i; "
+                          "i = i > hi ? hi : i; " +
+                              laneRef(T, "r", "l") + " = p[off + i]; }") +
+        "  return r;\n}";
+    needHelper(Name, "static inline " + VT + " " + Name + "(const " + CT +
+                         " *p, int32_t off, int32_t base, int32_t lo, "
+                         "int32_t hi) {\n" +
+                         Body);
+    return Name;
+  }
+
   std::string vectorStridedLoadHelper(Type T) {
     needVectorType(T);
     std::string VT = vecCType(T), CT = scalarCType(T.element());
     std::string Name = VT + "_load_strided";
-    needHelper(Name, "static inline " + VT + " " + Name + "(const " + CT +
-                         " *p, int32_t s) {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes, "r.v[l] = p[(int64_t)l * s];") +
-                         "  return r;\n}");
+    needHelper(Name,
+               "static inline " + VT + " " + Name + "(const " + CT +
+                   " *p, int32_t s) {\n  " + VT + " r;\n" +
+                   laneLoop(T.Lanes,
+                            laneRef(T, "r", "l") + " = p[(int64_t)l * s];") +
+                   "  return r;\n}");
     return Name;
   }
 
@@ -307,10 +659,12 @@ private:
     std::string VT = vecCType(T), CT = scalarCType(T.element());
     std::string IVT = vecCType(IndexT);
     std::string Name = VT + "_gather_" + typeTag(IndexT.element());
-    needHelper(Name, "static inline " + VT + " " + Name + "(const " + CT +
-                         " *p, " + IVT + " idx) {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes, "r.v[l] = p[idx.v[l]];") +
-                         "  return r;\n}");
+    needHelper(Name,
+               "static inline " + VT + " " + Name + "(const " + CT +
+                   " *p, " + IVT + " idx) {\n  " + VT + " r;\n" +
+                   laneLoop(T.Lanes, laneRef(T, "r", "l") + " = p[" +
+                                         laneRef(IndexT, "idx", "l") + "];") +
+                   "  return r;\n}");
     return Name;
   }
 
@@ -320,9 +674,13 @@ private:
     std::string VT = vecCType(T), CT = scalarCType(T.element());
     std::string IVT = vecCType(IndexT);
     std::string Name = VT + "_scatter_" + typeTag(IndexT.element());
-    needHelper(Name, "static inline void " + Name + "(" + CT + " *p, " +
-                         IVT + " idx, " + VT + " x) {\n" +
-                         laneLoop(T.Lanes, "p[idx.v[l]] = x.v[l];") + "}");
+    needHelper(Name,
+               "static inline void " + Name + "(" + CT + " *p, " + IVT +
+                   " idx, " + VT + " x) {\n" +
+                   laneLoop(T.Lanes, "p[" + laneRef(IndexT, "idx", "l") +
+                                         "] = " + laneRef(T, "x", "l") +
+                                         ";") +
+                   "}");
     return Name;
   }
 
@@ -332,13 +690,18 @@ private:
     std::string Name = "hl_cast_" + typeTag(From.element()) + "x" +
                        std::to_string(From.Lanes) + "_" +
                        typeTag(To.element());
+    std::string Body;
+    if (nativeVectorOk(From) && nativeVectorOk(To))
+      // __builtin_convertvector has C cast semantics per lane.
+      Body = "  return __builtin_convertvector(a, " + vecCType(To) + ");\n}";
+    else
+      Body = "  " + vecCType(To) + " r;\n" +
+             laneLoop(To.Lanes, laneRef(To, "r", "l") + " = (" +
+                                    scalarCType(To.element()) + ")" +
+                                    laneRef(From, "a", "l") + ";") +
+             "  return r;\n}";
     needHelper(Name, "static inline " + vecCType(To) + " " + Name + "(" +
-                         vecCType(From) + " a) {\n  " + vecCType(To) +
-                         " r;\n" +
-                         laneLoop(To.Lanes, "r.v[l] = (" +
-                                                scalarCType(To.element()) +
-                                                ")a.v[l];") +
-                         "  return r;\n}");
+                         vecCType(From) + " a) {\n" + Body);
     return Name;
   }
 
@@ -348,12 +711,17 @@ private:
     std::string CFn = scalarMathName(Fn, T.element());
     std::string Name = VT + "_" + Fn;
     std::string Params = VT + " a" + (Arity == 2 ? ", " + VT + " b" : "");
-    std::string Call = Arity == 2 ? CFn + "(a.v[l], b.v[l])"
-                                  : CFn + "(a.v[l])";
-    needHelper(Name, "static inline " + VT + " " + Name + "(" + Params +
-                         ") {\n  " + VT + " r;\n" +
-                         laneLoop(T.Lanes, "r.v[l] = " + Call + ";") +
-                         "  return r;\n}");
+    // Math calls stay lane loops: libm has no vector entry points here.
+    std::string Call =
+        Arity == 2 ? CFn + "(" + laneRef(T, "a", "l") + ", " +
+                         laneRef(T, "b", "l") + ")"
+                   : CFn + "(" + laneRef(T, "a", "l") + ")";
+    needHelper(Name,
+               "static inline " + VT + " " + Name + "(" + Params +
+                   ") {\n  " + VT + " r;\n" +
+                   laneLoop(T.Lanes, laneRef(T, "r", "l") + " = " + Call +
+                                         ";") +
+                   "  return r;\n}");
     return Name;
   }
 
@@ -437,7 +805,7 @@ private:
       std::string A = emit(Op->A);
       if (E.type().isScalar())
         return "(!" + A + ")";
-      std::string Helper = vectorBinaryHelper(E.type(), "xor1", "^");
+      std::string Helper = vectorOpHelper(E.type(), "xor1");
       std::string Splat = vectorSplatHelper(E.type());
       return Helper + "(" + A + ", " + Splat + "(1))";
     }
@@ -493,7 +861,7 @@ private:
     std::string SA = emit(A), SB = emit(B);
     if (E.type().isScalar())
       return "(" + SA + " " + COp + " " + SB + ")";
-    std::string Helper = vectorBinaryHelper(E.type(), Name, COp);
+    std::string Helper = vectorOpHelper(E.type(), Name);
     return Helper + "(" + SA + ", " + SB + ")";
   }
 
@@ -510,27 +878,30 @@ private:
           return "(" + SA + " - " + FloorFn + "(" + SA + " / " + SB +
                  ") * " + SB + ")";
         }
-        std::string Helper = vectorBinaryHelper(T, "fmod2", "");
-        // Build a dedicated helper for float vector mod.
+        // Dedicated helper for float vector mod: floor() keeps it a lane
+        // loop in both vector representations.
+        needVectorType(T);
         std::string VT = vecCType(T);
         std::string FloorFn = T.element().Bits == 32 ? "floorf" : "floor";
-        needHelper(VT + "_fmod2_def",
+        needHelper(VT + "_fmod2",
                    "static inline " + VT + " " + VT + "_fmod2(" + VT +
                        " a, " + VT + " b) {\n  " + VT + " r;\n" +
-                       laneLoop(T.Lanes, "r.v[l] = a.v[l] - " + FloorFn +
-                                             "(a.v[l] / b.v[l]) * b.v[l];") +
+                       laneLoop(T.Lanes,
+                                laneRef(T, "r", "l") + " = " +
+                                    laneRef(T, "a", "l") + " - " + FloorFn +
+                                    "(" + laneRef(T, "a", "l") + " / " +
+                                    laneRef(T, "b", "l") + ") * " +
+                                    laneRef(T, "b", "l") + ";") +
                        "  return r;\n}");
         return VT + "_fmod2(" + SA + ", " + SB + ")";
       }
       if (T.isScalar())
         return "(" + SA + " / " + SB + ")";
-      return vectorBinaryHelper(T, "div", "/") + "(" + SA + ", " + SB + ")";
+      return vectorOpHelper(T, "div") + "(" + SA + ", " + SB + ")";
     }
-    std::string ScalarHelper = scalarDivHelper(T.element(), IsMod);
     if (T.isScalar())
-      return ScalarHelper + "(" + SA + ", " + SB + ")";
-    std::string Helper =
-        vectorBinaryHelper(T, IsMod ? "mod" : "fdiv", ScalarHelper);
+      return scalarDivHelper(T, IsMod) + "(" + SA + ", " + SB + ")";
+    std::string Helper = vectorOpHelper(T, IsMod ? "mod" : "fdiv");
     return Helper + "(" + SA + ", " + SB + ")";
   }
 
@@ -539,11 +910,9 @@ private:
     const Expr &B = IsMax ? Expr(E.as<Max>()->B) : Expr(E.as<Min>()->B);
     std::string SA = emit(A), SB = emit(B);
     Type T = E.type();
-    std::string ScalarHelper = scalarMinMaxHelper(T.element(), IsMax);
     if (T.isScalar())
-      return ScalarHelper + "(" + SA + ", " + SB + ")";
-    std::string Helper =
-        vectorBinaryHelper(T, IsMax ? "max" : "min", ScalarHelper);
+      return scalarMinMaxHelper(T, IsMax) + "(" + SA + ", " + SB + ")";
+    std::string Helper = vectorOpHelper(T, IsMax ? "max" : "min");
     return Helper + "(" + SA + ", " + SB + ")";
   }
 
@@ -552,7 +921,7 @@ private:
     std::string SA = emit(A), SB = emit(B);
     if (E.type().isScalar())
       return "((uint8_t)(" + SA + " " + COp + " " + SB + "))";
-    std::string Helper = vectorCompareHelper(A.type(), Name, COp);
+    std::string Helper = vectorOpHelper(A.type(), Name);
     return Helper + "(" + SA + ", " + SB + ")";
   }
 
@@ -575,12 +944,27 @@ private:
     // everything else is a gather.
     if (const Ramp *R = Op->Index.as<Ramp>()) {
       int64_t Stride;
-      if (asConstInt(R->Stride, &Stride) && Stride == 1)
-        return vectorLoadHelper(Op->NodeType) + "(&" + Buf + "[" +
-               emit(R->Base) + "])";
+      if (asConstInt(R->Stride, &Stride)) {
+        if (Stride == 1)
+          return vectorLoadHelper(Op->NodeType) + "(&" + Buf + "[" +
+                 emit(R->Base) + "])";
+        // Stride -1 (reversed ramp, e.g. mirrored boundaries) is still a
+        // dense access: one contiguous load ending at base + lane reverse.
+        if (Stride == -1)
+          return vectorReverseLoadHelper(Op->NodeType) + "(&" + Buf + "[(" +
+                 emit(R->Base) + ") - " +
+                 std::to_string(Op->NodeType.Lanes - 1) + "])";
+      }
       return vectorStridedLoadHelper(Op->NodeType) + "(&" + Buf + "[" +
              emit(R->Base) + "], " + emit(R->Stride) + ")";
     }
+    // A clamped unit ramp (boundary-condition stencil tap) is dense over
+    // the whole interior; only boundary columns pay the per-lane clamp.
+    ClampedRampIndex CR;
+    if (matchClampedRampIndex(Op->Index, &CR))
+      return vectorClampedLoadHelper(Op->NodeType) + "(" + Buf + ", " +
+             (CR.Off.defined() ? emit(CR.Off) : "0") + ", " +
+             emit(CR.Base) + ", " + emit(CR.Lo) + ", " + emit(CR.Hi) + ")";
     return vectorGatherHelper(Op->NodeType, Op->Index.type()) + "(" + Buf +
            ", " + emit(Op->Index) + ")";
   }
@@ -706,10 +1090,20 @@ private:
     }
     if (const Ramp *R = Op->Index.as<Ramp>()) {
       int64_t Stride;
-      if (asConstInt(R->Stride, &Stride) && Stride == 1) {
-        line(vectorStoreHelper(Op->Value.type()) + "(&" + Buf + "[" +
-             emit(R->Base) + "], " + Value + ");");
-        return;
+      if (asConstInt(R->Stride, &Stride)) {
+        if (Stride == 1) {
+          line(vectorStoreHelper(Op->Value.type()) + "(&" + Buf + "[" +
+               emit(R->Base) + "], " + Value + ");");
+          return;
+        }
+        // Reversed dense store: shuffle lanes, then one contiguous store.
+        if (Stride == -1) {
+          line(vectorReverseStoreHelper(Op->Value.type()) + "(&" + Buf +
+               "[(" + emit(R->Base) + ") - " +
+               std::to_string(Op->Value.type().Lanes - 1) + "], " + Value +
+               ");");
+          return;
+        }
       }
     }
     line(vectorScatterHelper(Op->Value.type(), Op->Index.type()) + "(" +
@@ -825,7 +1219,11 @@ private:
       std::vector<std::unique_ptr<ScopedBinding<std::string>>> TypeBinds;
       std::vector<std::unique_ptr<ScopedBinding<std::string>>> BufBinds;
       for (const Field &F : Fields) {
-        line(F.CType + " " + F.CName + " = __c->" + F.CName + ";");
+        // Buffer pointers are distinct allocations; telling the C compiler
+        // so (restrict) is what lets it keep vector temporaries in
+        // registers across the dense load/store helpers.
+        line(F.CType + (F.IsBuffer ? "restrict " : " ") + F.CName +
+             " = __c->" + F.CName + ";");
         if (!F.IsBuffer) {
           Binds.push_back(std::make_unique<ScopedBinding<std::string>>(
               VarNames, F.IRName, F.CName));
@@ -906,7 +1304,8 @@ private:
       Size += " * (int64_t)(" + emit(E) + ")";
     line("{");
     ++Indent;
-    line(CT + " *" + CName + " = (" + CT + " *)rt->Malloc(" + Size + ");");
+    line(CT + " *restrict " + CName + " = (" + CT + " *)rt->Malloc(" + Size +
+         ");");
     {
       ScopedBinding<std::string> BindPtr(BufferPointers, Op->Name, CName);
       ScopedBinding<std::string> BindType(BufferTypes, Op->Name, CT);
@@ -947,7 +1346,7 @@ private:
       const BufferArg &Arg = P.Buffers[I];
       std::string CT = scalarCType(Arg.ElemType);
       std::string CName = freshName(Arg.Name);
-      line(CT + " *" + CName + " = (" + CT + " *)bufs[" +
+      line(CT + " *restrict " + CName + " = (" + CT + " *)bufs[" +
            std::to_string(I) + "];");
       Binds.push_back(std::make_unique<ScopedBinding<std::string>>(
           BufferPointers, Arg.Name, CName));

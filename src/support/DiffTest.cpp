@@ -2,11 +2,13 @@
 
 #include "support/DiffTest.h"
 
+#include "analysis/CallGraph.h"
 #include "autotune/ScheduleSpace.h"
 #include "codegen/Executable.h"
 #include "ir/IROperators.h"
 #include "runtime/TaskScheduler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -17,15 +19,31 @@ using namespace halide;
 
 namespace {
 
+/// C-backend host-compiler flags: HALIDE_DIFF_JIT_FLAGS wins over the
+/// option so CI can pin the flags per job — notably
+/// "-O2 -fno-tree-vectorize", which proves the emitted vector code
+/// carries the SIMD rather than the host compiler's auto-vectorizer.
+std::string diffJitFlags(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_JIT_FLAGS");
+  if (Env && *Env)
+    return Env;
+  return Opts.JitFlags;
+}
+
 /// The suite's execution target: the HALIDE_DIFF_BACKEND environment
 /// variable (Target::parse syntax) wins over the option so CI can force a
-/// backend — e.g. the VM under ASan — without touching test code.
+/// backend — e.g. the VM under ASan — without touching test code. A
+/// forced C backend also picks up the suite's host-compiler flags, so a
+/// HALIDE_DIFF_BACKEND=jit_c job compiles every schedule's artifact with
+/// the flags HALIDE_DIFF_JIT_FLAGS pins.
 Target diffExecTarget(const DiffOptions &Opts) {
   const char *Env = std::getenv("HALIDE_DIFF_BACKEND");
   if (Env && *Env) { // set-but-empty (e.g. a blank CI matrix cell) = unset
     Target T;
     user_assert(Target::parse(Env, &T))
         << "HALIDE_DIFF_BACKEND=" << Env << " is not a valid backend name";
+    if (T.TargetBackend == Backend::JitC)
+      T = T.withJitFlags(diffJitFlags(Opts));
     return T;
   }
   return Opts.ExecTarget;
@@ -49,6 +67,15 @@ int diffConcurrentFrames(const DiffOptions &Opts) {
   return Opts.ConcurrentFrames;
 }
 
+/// Scalar-vs-vector leg switch: HALIDE_DIFF_SCALAR wins over the option
+/// so CI can force (or disable) the parity check per job.
+bool diffScalarParity(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_SCALAR");
+  if (Env && *Env)
+    return std::atoi(Env) != 0;
+  return Opts.ScalarVectorParity;
+}
+
 /// Renders the stats fields the determinism contract covers, for
 /// mismatch diagnostics (the contract and rendering live with
 /// ExecutionStats itself; see runtime/Tracing.h).
@@ -64,6 +91,52 @@ int halide::runOnBackend(const Target &T, const LoweredPipeline &P,
                          const ParamBindings &Params,
                          ExecutionStats *Stats) {
   return makeExecutable(P, T)->run(Params, Stats);
+}
+
+bool halide::scalarizeVectorLoops(const Function &Output) {
+  bool Any = false;
+  for (auto &[Name, F] : buildEnvironment(Output)) {
+    Function Fn = F; // shared handle: edits reach the pipeline's stage
+    for (Dim &D : Fn.schedule().Dims)
+      if (D.Kind == ForType::Vectorized) {
+        D.Kind = ForType::Serial;
+        Any = true;
+      }
+    for (UpdateDefinition &U : Fn.updates())
+      for (Dim &D : U.Dims)
+        if (D.Kind == ForType::Vectorized) {
+          D.Kind = ForType::Serial;
+          Any = true;
+        }
+  }
+  return Any;
+}
+
+int halide::scheduleVectorWidth(const Function &Output) {
+  int Width = 1;
+  for (const auto &[Name, F] : buildEnvironment(Output)) {
+    const Schedule &S = F.schedule();
+    auto NoteDim = [&](const Dim &D) {
+      if (D.Kind != ForType::Vectorized)
+        return;
+      int64_t Lanes;
+      for (const Split &Sp : S.Splits)
+        if (Sp.Inner == D.Var && asConstInt(Sp.Factor, &Lanes))
+          Width = std::max(Width, int(Lanes));
+      // Whole-dimension vectorize (no split): the width is the bound()
+      // extent pinned on that dimension, where one exists.
+      for (const BoundConstraint &B : S.Bounds)
+        if (B.Var == D.Var && B.Extent.defined() &&
+            asConstInt(B.Extent, &Lanes))
+          Width = std::max(Width, int(Lanes));
+    };
+    for (const Dim &D : S.Dims)
+      NoteDim(D);
+    for (const UpdateDefinition &U : F.updates())
+      for (const Dim &D : U.Dims)
+        NoteDim(D);
+  }
+  return Width;
 }
 
 RawBuffer halide::makeAppOutput(const App &A, int W, int H,
@@ -375,7 +448,8 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
       ParamBindings PB = Inputs;
       PB.bind(A.Output.name(), OutC);
       int Rc =
-          runOnBackend(Target::jit().withJitFlags(Opts.JitFlags), P, PB);
+          runOnBackend(Target::jit().withJitFlags(diffJitFlags(Opts)), P,
+                       PB);
       std::string Detail;
       if (Rc != 0)
         R.Mismatches.push_back(
@@ -383,6 +457,41 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
                                               std::to_string(Rc)});
       else if (!buffersMatch(Ref, OutC, Opts.FloatTolerance, 0, &Detail))
         R.Mismatches.push_back({Desc, "codegen_c vs reference", Detail});
+    }
+
+    // The scalar-vs-vector parity leg: re-apply the genome, demote its
+    // vectorized loops to serial (splits intact — same iteration space),
+    // and re-lower. The vectorized primary run must reproduce the
+    // scalarized output bit for bit (zero tolerance even for floats:
+    // lane-parallel execution performs exactly the per-element
+    // operations) and issue exactly the same per-buffer load/store
+    // traffic. Last leg in the loop because it rewrites the applied
+    // schedules; the next iteration's apply() resets them anyway.
+    if (diffScalarParity(Opts)) {
+      Space.apply(G);
+      if (scalarizeVectorLoops(A.Output.function())) {
+        LoweredPipeline PS = Pipe.lowerPipeline();
+        std::shared_ptr<void> KeepScalar;
+        RawBuffer OutScalar = makeAppOutput(A, W, H, &KeepScalar);
+        ParamBindings PB = Inputs;
+        PB.bind(A.Output.name(), OutScalar);
+        ExecutionStats ScalarStats;
+        int Rc = runOnBackend(ExecSerial, PS, PB, &ScalarStats);
+        std::string Detail;
+        if (Rc != 0)
+          R.Mismatches.push_back(
+              {Desc, "scalarized " + ExecName + " exit code",
+               "pipeline returned " + std::to_string(Rc)});
+        else if (!buffersMatch(OutExec, OutScalar, 0.0, 0, &Detail))
+          R.Mismatches.push_back(
+              {Desc, "vector vs scalar " + ExecName, Detail});
+        else if (ScalarStats.LoadsPerBuffer != SerialStats.LoadsPerBuffer ||
+                 ScalarStats.StoresPerBuffer != SerialStats.StoresPerBuffer)
+          R.Mismatches.push_back(
+              {Desc, "vector vs scalar " + ExecName + " memory traffic",
+               "vector {" + statsSummary(SerialStats) + "} scalar {" +
+                   statsSummary(ScalarStats) + "}"});
+      }
     }
     ++R.SchedulesRun;
     ++ScheduleIndex;

@@ -23,7 +23,13 @@
 /// schedules' executables as simultaneous async jobs on the task
 /// scheduler — the serving configuration — and requires every frame to
 /// be bit-identical (output and merged stats) to its sequential run
-/// (DiffOptions::ConcurrentFrames / HALIDE_DIFF_CONCURRENT).
+/// (DiffOptions::ConcurrentFrames / HALIDE_DIFF_CONCURRENT). Since the
+/// backends grew real SIMD execution, a scalar-vs-vector leg re-lowers
+/// every sampled schedule that contains a vectorized loop with that loop
+/// demoted to serial (splits intact) and requires the vectorized run to
+/// reproduce the scalarized output bit-for-bit with identical per-buffer
+/// load/store counts (DiffOptions::ScalarVectorParity /
+/// HALIDE_DIFF_SCALAR).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -102,11 +108,26 @@ struct DiffOptions {
   /// HALIDE_DIFF_CONCURRENT environment variable overrides it
   /// process-wide (0 to disable).
   int ConcurrentFrames = 4;
+  /// The scalar-vs-vector parity leg: every sampled schedule containing a
+  /// vectorized loop is additionally re-lowered with each vectorized
+  /// dimension demoted to a serial loop of the same extent (splits stay,
+  /// so the iteration space is identical) and re-executed on the same
+  /// backend. The vectorized run must reproduce the scalarized output
+  /// bit-for-bit — zero tolerance, floats included, since lane-parallel
+  /// arithmetic performs exactly the per-element operations — with
+  /// identical per-buffer load/store counts. The HALIDE_DIFF_SCALAR
+  /// environment variable overrides it process-wide (0 disables).
+  bool ScalarVectorParity = true;
   /// Also push every schedule through the C backend (compile + dlopen).
   bool RunCodeGenC = true;
   /// Host-compiler flags for the C backend. -O0 because this harness
   /// checks correctness, not speed: the vectorized schedules emit large
   /// translation units that -O3 compiles an order of magnitude slower.
+  /// The HALIDE_DIFF_JIT_FLAGS environment variable overrides it
+  /// process-wide (and also applies to an exec backend forced to jit_c
+  /// via HALIDE_DIFF_BACKEND) — CI's no-autovectorize leg pins
+  /// "-O2 -fno-tree-vectorize" to prove the emitted vector code, not the
+  /// host compiler, carries the SIMD.
   std::string JitFlags = "-O0";
 };
 
@@ -126,6 +147,20 @@ struct DiffReport {
   /// Human-readable multi-line failure description (empty when ok).
   std::string summary() const;
 };
+
+/// Demotes every vectorized loop in the pipeline's currently applied
+/// schedules to a serial loop, leaving splits intact: the scalarized
+/// pipeline walks exactly the same iteration space as the vectorized
+/// one, only the lane-parallel execution disappears. Returns true if any
+/// loop was demoted (i.e. the schedule actually vectorized something).
+/// Used by the scalar-vs-vector parity leg and bench_runner --novec.
+bool scalarizeVectorLoops(const Function &Output);
+
+/// The widest vector width the pipeline's currently applied schedules
+/// request: the constant split factor (or whole-dimension bound() extent)
+/// of each vectorized loop, maximized over all stages. 1 when nothing is
+/// vectorized — the scalar baseline.
+int scheduleVectorWidth(const Function &Output);
 
 /// Allocates a dense planar output buffer shaped like the app's output
 /// signature: W x H, plus 3 channels when the output is 3-dimensional.

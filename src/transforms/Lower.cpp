@@ -115,8 +115,28 @@ LoweredPipeline halide::lower(const Function &Output, const Target &T) {
 
   // Guard the round-up of split output dimensions: the loops write
   // [min, min + writtenExtent), which must not exceed the output buffer.
+  // When the schedule pins the dimension's extent with bound(), the check
+  // is decidable here, so a bad vectorize/split combination is rejected at
+  // lowering time (naming the stage) instead of aborting at run time.
   std::vector<Stmt> Preamble;
   for (int D = 0; D < Output.dimensions(); ++D) {
+    const std::string &DimVar = Output.args()[size_t(D)];
+    for (const BoundConstraint &BC : Output.schedule().Bounds) {
+      int64_t BoundExtent, WrittenConst;
+      if (BC.Var != DimVar || !BC.Extent.defined() ||
+          !asConstInt(simplify(BC.Extent), &BoundExtent))
+        continue;
+      Expr Written = simplify(
+          writtenExtent(Output, D, IntImm::make(Int(32), BoundExtent)));
+      if (asConstInt(Written, &WrittenConst) && WrittenConst != BoundExtent)
+        user_error << "in schedule for output stage " << Output.name()
+                   << ": dimension " << DimVar << " is bounded to extent "
+                   << BoundExtent << " but its splits round the written "
+                   << "extent up to " << WrittenConst
+                   << "; the extent must be a multiple of the split "
+                   << "factors (pad the bound or drop the non-dividing "
+                   << "split/vectorize factor)";
+    }
     Expr Extent = Variable::make(
         Int(32), bufferExtentName(Output.name(), D), /*IsParam=*/true);
     Expr Written = simplify(writtenExtent(Output, D, Extent));

@@ -560,6 +560,14 @@ private:
       if (RA && BB)
         return Ramp::make(mutate(Sub::make(RA->Base, BB->Value)),
                           mutate(RA->Stride), RA->Lanes);
+      // Mirrored indices ("W - 1 - x") subtract a ramp from a broadcast;
+      // folding to a negative-stride ramp is what lets the back ends
+      // classify the access as dense-reversed instead of a gather.
+      if (BA && RB)
+        return Ramp::make(
+            mutate(Sub::make(BA->Value, RB->Base)),
+            mutate(Sub::make(makeZero(RB->Stride.type()), RB->Stride)),
+            RB->Lanes);
       if (RA && RB)
         return Ramp::make(mutate(Sub::make(RA->Base, RB->Base)),
                           mutate(Sub::make(RA->Stride, RB->Stride)),

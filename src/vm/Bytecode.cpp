@@ -50,6 +50,8 @@ const char *halide::vmOpName(VmOp Op) {
   case VmOp::BroadcastSlot: return "broadcast";
   case VmOp::Load: return "load";
   case VmOp::Store: return "store";
+  case VmOp::LoadDense: return "load.dense";
+  case VmOp::StoreDense: return "store.dense";
   case VmOp::Alloc: return "alloc";
   case VmOp::FreeOp: return "free";
   case VmOp::Jump: return "jump";
@@ -116,6 +118,12 @@ std::string VmProgram::disassemble() const {
       break;
     case VmOp::Store:
       OS << " buf" << In.Aux << "[r" << In.B << "], r" << In.A;
+      break;
+    case VmOp::LoadDense:
+      OS << " r" << In.Dst << ", buf" << In.Aux << "[r" << In.A << " ..]";
+      break;
+    case VmOp::StoreDense:
+      OS << " buf" << In.Aux << "[r" << In.B << " ..], r" << In.A;
       break;
     case VmOp::Alloc:
       OS << " buf" << In.Aux << ", elems=r" << In.A;

@@ -74,6 +74,13 @@ enum class VmOp : uint8_t {
   Load,  ///< dst[l] = buffer[a[l]] (a = index register, int64 elements)
   Store, ///< buffer[b[l]] = a[l]   (a = value register, b = index register)
 
+  // Dense (unit-stride ramp) vector memory. The index is a single scalar
+  // base register instead of a lane-wide index vector, so the whole lane
+  // group moves with one range-checked contiguous copy per dispatch —
+  // this is what makes vectorize() pay off on the VM.
+  LoadDense,  ///< dst[l] = buffer[a[0] + l]
+  StoreDense, ///< buffer[b[0] + l] = a[l] (a = value register, b = base)
+
   // Allocation. Aux is the buffer-table index.
   Alloc, ///< allocate a[0] (int64) elements for buffer slot Aux
   FreeOp, ///< free buffer slot Aux

@@ -279,10 +279,29 @@ private:
     return Dst;
   }
 
+  /// Unit-stride ramp index: the dense vector access shape. Such loads
+  /// and stores compile only the scalar base and move the whole lane
+  /// group per dispatch (LoadDense/StoreDense).
+  static const Ramp *asDenseRamp(const Expr &Index) {
+    const Ramp *R = Index.as<Ramp>();
+    int64_t Stride;
+    if (R && R->Lanes > 1 && asConstInt(R->Stride, &Stride) && Stride == 1)
+      return R;
+    return nullptr;
+  }
+
   uint32_t compileLoad(const Load *Op) {
     int32_t Buf = BufScope.get(Op->Name);
-    uint32_t Index = compileExpr(Op->Index);
     Type T = Op->NodeType;
+    if (const Ramp *R = asDenseRamp(Op->Index)) {
+      uint32_t Base = compileExpr(R->Base);
+      uint32_t Dst = allocReg(T.Lanes);
+      VmInstr In = elemwise(VmOp::LoadDense, T, Dst, Base);
+      In.Aux = Buf;
+      emit(In);
+      return Dst;
+    }
+    uint32_t Index = compileExpr(Op->Index);
     uint32_t Dst = allocReg(T.Lanes);
     VmInstr In = elemwise(VmOp::Load, T, Dst, Index);
     In.Aux = Buf;
@@ -371,6 +390,14 @@ private:
       int32_t Buf = BufScope.get(Op->Name);
       // Value before index, matching the interpreter's evaluation order.
       uint32_t Val = compileExpr(Op->Value);
+      if (const Ramp *R = asDenseRamp(Op->Index)) {
+        uint32_t Base = compileExpr(R->Base);
+        VmInstr In =
+            elemwise(VmOp::StoreDense, Op->Value.type(), 0, Val, Base);
+        In.Aux = Buf;
+        emit(In);
+        return;
+      }
       uint32_t Index = compileExpr(Op->Index);
       VmInstr In = elemwise(VmOp::Store, Op->Value.type(), 0, Val, Index);
       In.Aux = Buf;
@@ -566,6 +593,13 @@ private:
     case VmOp::Store:
       Out->push_back({In.A, L});
       Out->push_back({In.B, L});
+      break;
+    case VmOp::LoadDense:
+      Out->push_back({In.A, 1}); // scalar base register
+      break;
+    case VmOp::StoreDense:
+      Out->push_back({In.A, L}); // value lanes
+      Out->push_back({In.B, 1}); // scalar base register
       break;
     case VmOp::Alloc:
     case VmOp::JumpIfFalse:

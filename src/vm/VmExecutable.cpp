@@ -321,6 +321,36 @@ void Runner::exec(VmContext &C, size_t PC) const {
       break;
     }
 
+    case VmOp::LoadDense: {
+      // Dense lane-group load: one range check for the whole group, then
+      // a tight per-kind copy from buffer[base .. base+L).
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
+      C.Shard.Loads[size_t(In.Aux)] += L;
+      int64_t Base0 = R[In.A].I;
+      checkBounds(B, size_t(In.Aux), Base0);
+      checkBounds(B, size_t(In.Aux), Base0 + L - 1);
+      const void *Base = B.Data;
+      switch (ElemKind(Kinds[size_t(In.Aux)])) {
+#define VM_LOAD_DENSE(KIND, CTYPE, FIELD, CONV)                                \
+  case ElemKind::KIND: {                                                       \
+    const CTYPE *P = static_cast<const CTYPE *>(Base) + Base0;                 \
+    for (int I = 0; I < L; ++I)                                                \
+      R[In.Dst + I].FIELD = CONV(P[I]);                                        \
+  } break;
+        VM_LOAD_DENSE(I8, int8_t, I, int64_t)
+        VM_LOAD_DENSE(U8, uint8_t, I, int64_t)
+        VM_LOAD_DENSE(I16, int16_t, I, int64_t)
+        VM_LOAD_DENSE(U16, uint16_t, I, int64_t)
+        VM_LOAD_DENSE(I32, int32_t, I, int64_t)
+        VM_LOAD_DENSE(U32, uint32_t, I, int64_t)
+        VM_LOAD_DENSE(I64, int64_t, I, int64_t)
+        VM_LOAD_DENSE(F32, float, F, double)
+        VM_LOAD_DENSE(F64, double, F, double)
+#undef VM_LOAD_DENSE
+      }
+      break;
+    }
+
     case VmOp::Store: {
       RtBuf &B = C.Bufs[size_t(In.Aux)];
       C.Shard.Stores[size_t(In.Aux)] += L;
@@ -344,6 +374,35 @@ void Runner::exec(VmContext &C, size_t PC) const {
         VM_STORE(F32, float, F)
         VM_STORE(F64, double, F)
 #undef VM_STORE
+      }
+      break;
+    }
+
+    case VmOp::StoreDense: {
+      // Dense lane-group store: mirror of LoadDense.
+      RtBuf &B = C.Bufs[size_t(In.Aux)];
+      C.Shard.Stores[size_t(In.Aux)] += L;
+      int64_t Base0 = R[In.B].I;
+      checkBounds(B, size_t(In.Aux), Base0);
+      checkBounds(B, size_t(In.Aux), Base0 + L - 1);
+      void *Base = B.Data;
+      switch (ElemKind(Kinds[size_t(In.Aux)])) {
+#define VM_STORE_DENSE(KIND, CTYPE, FIELD)                                     \
+  case ElemKind::KIND: {                                                       \
+    CTYPE *P = static_cast<CTYPE *>(Base) + Base0;                             \
+    for (int I = 0; I < L; ++I)                                                \
+      P[I] = CTYPE(R[In.A + I].FIELD);                                         \
+  } break;
+        VM_STORE_DENSE(I8, int8_t, I)
+        VM_STORE_DENSE(U8, uint8_t, I)
+        VM_STORE_DENSE(I16, int16_t, I)
+        VM_STORE_DENSE(U16, uint16_t, I)
+        VM_STORE_DENSE(I32, int32_t, I)
+        VM_STORE_DENSE(U32, uint32_t, I)
+        VM_STORE_DENSE(I64, int64_t, I)
+        VM_STORE_DENSE(F32, float, F)
+        VM_STORE_DENSE(F64, double, F)
+#undef VM_STORE_DENSE
       }
       break;
     }
