@@ -23,10 +23,17 @@
 // with Target::Profile and prints the per-stage profiler report plus the
 // unified metrics snapshot after the runs; --trace <path> records a
 // Chrome trace-event JSON of the whole bench (load it in
-// chrome://tracing or https://ui.perfetto.dev). --app <name> restricts
-// the run to one registered app. Requesting more --threads than the host
-// has cores warns and is recorded in the JSON baseline
-// (threads_oversubscribed), since such rows time contention, not speedup.
+// chrome://tracing or https://ui.perfetto.dev); --value-trace <path>
+// compiles with Target::Trace and streams every load/store/realization
+// of the runs into a binary value trace (README "Value tracing") that
+// trace_analyzer replays into per-stage locality reports. --app <name>
+// restricts the run to one registered app. Requesting more --threads
+// than the host has cores warns and is recorded in the JSON baseline
+// (threads_oversubscribed), since such rows time contention, not
+// speedup. When BENCH_seed.json is readable and records a different
+// host_threads than this machine's, a warning is printed and the
+// mismatch lands in the JSON output (baseline_host_threads_mismatch) —
+// rows timed on different core counts are not comparable.
 //
 // Every single-frame row records the schedule's requested vector width
 // (vector_width in the JSON; 1 = scalar), so SIMD regressions show up in
@@ -42,7 +49,7 @@
 //                     [--iters N] [--no-thread-sweep] [--novec]
 //                     [--jit-flags <flags>] [--app <name>]
 //                     [--serve] [--serve-clients N] [--serve-frames M]
-//                     [--profile] [--trace <path>]
+//                     [--profile] [--trace <path>] [--value-trace <path>]
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +58,7 @@
 #include "observe/MetricsRegistry.h"
 #include "observe/Profiler.h"
 #include "observe/TraceRecorder.h"
+#include "observe/TraceStream.h"
 #include "runtime/TaskScheduler.h"
 #include "support/DiffTest.h"
 
@@ -59,6 +67,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -227,6 +236,23 @@ void runThreadsSweep(std::vector<App> &Apps, int W, int H, int Iters,
   setTaskSchedulerThreads(Before);
 }
 
+/// host_threads recorded in a baseline JSON (0 when absent/unreadable).
+int baselineHostThreads(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return 0;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string Text = SS.str();
+  size_t Pos = Text.find("\"host_threads\"");
+  if (Pos == std::string::npos)
+    return 0;
+  Pos = Text.find(':', Pos);
+  if (Pos == std::string::npos)
+    return 0;
+  return std::atoi(Text.c_str() + Pos + 1);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -238,6 +264,7 @@ int main(int Argc, char **Argv) {
   int ServeClients = 4, ServeFrames = 16;
   bool Profile = false;
   std::string TracePath;
+  std::string ValueTracePath;
   std::string AppFilter;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -286,6 +313,10 @@ int main(int Argc, char **Argv) {
       TracePath = Arg.substr(std::strlen("--trace="));
     else if (Arg == "--trace" && I + 1 < Argc)
       TracePath = Argv[++I];
+    else if (Arg.rfind("--value-trace=", 0) == 0)
+      ValueTracePath = Arg.substr(std::strlen("--value-trace="));
+    else if (Arg == "--value-trace" && I + 1 < Argc)
+      ValueTracePath = Argv[++I];
     else if (Arg.rfind("--app=", 0) == 0)
       AppFilter = Arg.substr(std::strlen("--app="));
     else if (Arg == "--app" && I + 1 < Argc)
@@ -297,7 +328,7 @@ int main(int Argc, char **Argv) {
                    "[--no-thread-sweep] [--novec] [--jit-flags <flags>] "
                    "[--app <name>] [--serve] "
                    "[--serve-clients N] [--serve-frames M] [--profile] "
-                   "[--trace <path>]\n",
+                   "[--trace <path>] [--value-trace <path>]\n",
                    Argv[0]);
       return 2;
     }
@@ -313,6 +344,16 @@ int main(int Argc, char **Argv) {
                  "parallel speedup\n",
                  Threads, HostThreads);
 
+  const int BaselineThreads = baselineHostThreads("BENCH_seed.json");
+  const bool BaselineMismatch =
+      BaselineThreads > 0 && HostThreads > 0 && BaselineThreads != HostThreads;
+  if (BaselineMismatch)
+    std::fprintf(stderr,
+                 "warning: BENCH_seed.json was measured on a host with %d "
+                 "hardware threads, this host has %d; absolute times are "
+                 "not comparable against that baseline\n",
+                 BaselineThreads, HostThreads);
+
   if (Threads > 0) {
     setTaskSchedulerThreads(Threads);
     T = T.withThreads(Threads);
@@ -324,6 +365,13 @@ int main(int Argc, char **Argv) {
   if (!TracePath.empty()) {
     traceSetThreadName("main");
     traceStart();
+  }
+  if (!ValueTracePath.empty()) {
+    T = T.withTrace();
+    if (!traceStreamStart(ValueTracePath)) {
+      std::fprintf(stderr, "cannot write %s\n", ValueTracePath.c_str());
+      return 1;
+    }
   }
 
   std::vector<BenchRow> Rows;
@@ -367,6 +415,14 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+  if (!ValueTracePath.empty()) {
+    traceStreamStop();
+    TraceStreamStats TS = traceStreamStats();
+    std::printf("wrote value trace to %s (%lld events, %lld dropped, "
+                "%lld bytes)\n",
+                ValueTracePath.c_str(), (long long)TS.EventsEmitted,
+                (long long)TS.EventsDropped, (long long)TS.BytesWritten);
+  }
   if (Profile) {
     std::printf("\n%s\n", profilerReport().str().c_str());
     std::printf("%s", metricsSnapshot().str().c_str());
@@ -385,7 +441,10 @@ int main(int Argc, char **Argv) {
          << "},\n  \"iters\": " << Iters << ",\n  \"host_threads\": "
          << std::thread::hardware_concurrency()
          << ",\n  \"threads_oversubscribed\": "
-         << (Oversubscribed ? "true" : "false") << ",\n  \"backend\": \""
+         << (Oversubscribed ? "true" : "false")
+         << ",\n  \"baseline_host_threads\": " << BaselineThreads
+         << ",\n  \"baseline_host_threads_mismatch\": "
+         << (BaselineMismatch ? "true" : "false") << ",\n  \"backend\": \""
          << backendName(T.TargetBackend) << "\",\n  \"results\": [\n";
     for (size_t I = 0; I < Rows.size(); ++I) {
       const BenchRow &R = Rows[I];

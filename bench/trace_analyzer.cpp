@@ -1,0 +1,255 @@
+//===-- bench/trace_analyzer.cpp - Schedule locality from a value trace ---===//
+//
+// Replays a binary value trace (observe/TraceStream.h, produced by
+// bench_runner --value-trace or any Target::Trace run) into per-stage
+// locality reports — the numbers the paper's schedule comparisons are
+// about, measured from the actual execution instead of predicted:
+//
+//   * stores per distinct stored element (the recomputation factor: 1.0
+//     for breadth-first, > 1 wherever a tile or sliding window re-derives
+//     producer values),
+//   * realized vs. consumed footprint (allocated extent product per
+//     realization against the distinct elements actually loaded),
+//   * a reuse-distance histogram per stage (log2 buckets of the number of
+//     accesses between consecutive touches of the same element — small
+//     distances mean values are consumed while hot),
+//   * producer->consumer interleaving (how often the serial event order
+//     switches stages; breadth-first computes whole stages back to back,
+//     fused/tiled schedules alternate).
+//
+// Threaded traces interleave at flush granularity, so event *order*
+// derived numbers (reuse distances, interleaving) are only meaningful for
+// serial traces; counts and footprints are exact either way.
+//
+// Usage: trace_analyzer <trace-file> [--json <path>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/TraceStream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace halide;
+
+namespace {
+
+struct StageReport {
+  std::string Name;
+  int64_t LoadEvents = 0, StoreEvents = 0;
+  int64_t LoadLanes = 0, StoreLanes = 0;
+  int64_t Realizations = 0;
+  int64_t RealizedElems = 0; ///< sum of extent products over realizations
+  /// coord -> global lane tick of the most recent access (loads+stores).
+  std::unordered_map<int32_t, int64_t> LastTouch;
+  std::unordered_map<int32_t, int64_t> LoadedCoords; ///< coord -> load count
+  std::unordered_map<int32_t, int64_t> StoredCoords; ///< coord -> store count
+  int64_t ReuseHist[32] = {0}; ///< log2 buckets of re-touch distances
+};
+
+int log2Bucket(int64_t D) {
+  int B = 0;
+  while (D > 1 && B < 31) {
+    D >>= 1;
+    ++B;
+  }
+  return B;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path, JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Arg.rfind("--json=", 0) == 0)
+      JsonPath = Arg.substr(std::strlen("--json="));
+    else if (Path.empty() && !Arg.empty() && Arg[0] != '-')
+      Path = Arg;
+    else {
+      std::fprintf(stderr, "usage: %s <trace-file> [--json <path>]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::fprintf(stderr, "usage: %s <trace-file> [--json <path>]\n", Argv[0]);
+    return 2;
+  }
+
+  std::vector<TraceEvent> Events;
+  std::string Error;
+  if (!readTraceFile(Path, &Events, &Error)) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+    return 1;
+  }
+
+  // Name pre-pass: Name records map stage ids to buffer names.
+  std::map<uint16_t, std::string> Names;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceEventKind::TraceName)
+      Names[E.StageId] = E.Name;
+  auto NameOf = [&Names](uint16_t Id) {
+    auto It = Names.find(Id);
+    return It != Names.end() ? It->second : "stage" + std::to_string(Id);
+  };
+
+  // The pipeline's output realization brackets the whole execution, so
+  // the first Begin record identifies the output stage and its extents
+  // give the output pixel count.
+  int64_t OutputPixels = 0;
+  uint16_t OutputStage = 0;
+  bool HaveOutput = false;
+
+  std::map<uint16_t, StageReport> Stages;
+  // Ordered-pair stage switches in event order (access events only).
+  std::map<std::pair<uint16_t, uint16_t>, int64_t> Switches;
+  bool HaveLast = false;
+  uint16_t LastStage = 0;
+  int64_t Tick = 0;
+
+  for (const TraceEvent &E : Events) {
+    if (E.Kind == TraceEventKind::TraceName)
+      continue;
+    StageReport &S = Stages[E.StageId];
+    switch (E.Kind) {
+    case TraceEventKind::TraceBegin: {
+      ++S.Realizations;
+      int64_t Elems = 1;
+      for (int32_t Ext : E.Coords)
+        Elems *= Ext;
+      S.RealizedElems += Elems;
+      if (!HaveOutput) {
+        HaveOutput = true;
+        OutputStage = E.StageId;
+        OutputPixels = Elems;
+      }
+      break;
+    }
+    case TraceEventKind::TraceEnd:
+      break;
+    case TraceEventKind::TraceLoad:
+    case TraceEventKind::TraceStore: {
+      const bool IsLoad = E.Kind == TraceEventKind::TraceLoad;
+      (IsLoad ? S.LoadEvents : S.StoreEvents) += 1;
+      (IsLoad ? S.LoadLanes : S.StoreLanes) += int64_t(E.Coords.size());
+      if (HaveLast && LastStage != E.StageId)
+        ++Switches[{LastStage, E.StageId}];
+      HaveLast = true;
+      LastStage = E.StageId;
+      for (int32_t Coord : E.Coords) {
+        auto [It, Fresh] = S.LastTouch.try_emplace(Coord, Tick);
+        if (!Fresh) {
+          ++S.ReuseHist[log2Bucket(Tick - It->second)];
+          It->second = Tick;
+        }
+        ++(IsLoad ? S.LoadedCoords : S.StoredCoords)[Coord];
+        ++Tick;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  int64_t TotalLanes = 0;
+  for (const auto &[Id, S] : Stages)
+    TotalLanes += S.LoadLanes + S.StoreLanes;
+  std::printf("trace: %s\n", Path.c_str());
+  std::printf("events: %zu records, %lld access lanes, %zu stages\n",
+              Events.size(), (long long)TotalLanes, Stages.size());
+  if (HaveOutput)
+    std::printf("output: %s (%lld pixels)\n", NameOf(OutputStage).c_str(),
+                (long long)OutputPixels);
+
+  for (const auto &[Id, S] : Stages) {
+    const int64_t DistinctStored = int64_t(S.StoredCoords.size());
+    const int64_t DistinctLoaded = int64_t(S.LoadedCoords.size());
+    const double Recompute =
+        DistinctStored ? double(S.StoreLanes) / double(DistinctStored) : 0;
+    const double StoresPerOut =
+        OutputPixels ? double(S.StoreLanes) / double(OutputPixels) : 0;
+    std::printf("\n%s:\n", NameOf(Id).c_str());
+    std::printf("  loads:  %lld lanes in %lld events (%lld distinct "
+                "elements consumed)\n",
+                (long long)S.LoadLanes, (long long)S.LoadEvents,
+                (long long)DistinctLoaded);
+    std::printf("  stores: %lld lanes in %lld events (%lld distinct "
+                "elements)\n",
+                (long long)S.StoreLanes, (long long)S.StoreEvents,
+                (long long)DistinctStored);
+    if (S.Realizations)
+      std::printf("  realized: %lld elements over %lld realization(s); "
+                  "consumed %lld (%.1f%% of realized)\n",
+                  (long long)S.RealizedElems, (long long)S.Realizations,
+                  (long long)DistinctLoaded,
+                  S.RealizedElems
+                      ? 100.0 * double(DistinctLoaded) /
+                            double(S.RealizedElems)
+                      : 0.0);
+    if (S.StoreLanes)
+      std::printf("  stores/output-pixel: %.3f   recompute factor: %.3f\n",
+                  StoresPerOut, Recompute);
+    bool AnyReuse = false;
+    for (int B = 0; B < 32; ++B)
+      AnyReuse = AnyReuse || S.ReuseHist[B];
+    if (AnyReuse) {
+      std::printf("  reuse distance (accesses between touches, log2 "
+                  "buckets):\n");
+      for (int B = 0; B < 32; ++B)
+        if (S.ReuseHist[B])
+          std::printf("    2^%-2d  %lld\n", B, (long long)S.ReuseHist[B]);
+    }
+  }
+
+  if (!Switches.empty()) {
+    std::vector<std::pair<std::pair<uint16_t, uint16_t>, int64_t>> Pairs(
+        Switches.begin(), Switches.end());
+    std::sort(Pairs.begin(), Pairs.end(),
+              [](const auto &A, const auto &B) { return A.second > B.second; });
+    std::printf("\nstage interleaving (event-order switches):\n");
+    for (size_t I = 0; I < Pairs.size() && I < 8; ++I)
+      std::printf("  %s -> %s: %lld\n", NameOf(Pairs[I].first.first).c_str(),
+                  NameOf(Pairs[I].first.second).c_str(),
+                  (long long)Pairs[I].second);
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream Json(JsonPath);
+    if (!Json) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    Json << "{\n  \"records\": " << Events.size()
+         << ",\n  \"access_lanes\": " << TotalLanes
+         << ",\n  \"output_pixels\": " << OutputPixels
+         << ",\n  \"stages\": [\n";
+    size_t I = 0;
+    for (const auto &[Id, S] : Stages) {
+      const int64_t DistinctStored = int64_t(S.StoredCoords.size());
+      Json << "    {\"name\": \"" << NameOf(Id)
+           << "\", \"load_lanes\": " << S.LoadLanes
+           << ", \"store_lanes\": " << S.StoreLanes
+           << ", \"distinct_loaded\": " << S.LoadedCoords.size()
+           << ", \"distinct_stored\": " << DistinctStored
+           << ", \"realizations\": " << S.Realizations
+           << ", \"realized_elems\": " << S.RealizedElems
+           << ", \"recompute_factor\": "
+           << (DistinctStored ? double(S.StoreLanes) / double(DistinctStored)
+                              : 0)
+           << "}" << (++I < Stages.size() ? "," : "") << "\n";
+    }
+    Json << "  ]\n}\n";
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "ir/IROperators.h"
 #include "ir/IRVisitor.h"
 #include "observe/Profiler.h"
+#include "observe/TraceStream.h"
 #include "runtime/Buffer.h"
 
 #include <map>
@@ -153,6 +154,15 @@ public:
       BufferNames.insert(Op->Name);
     IRVisitor::visit(Op);
   }
+  void visit(const Call *Op) override {
+    // A trace_store intrinsic replaces the Store node outright, so the
+    // stored-to buffer is named only by its StringImm argument here.
+    if (Op->CallKind == CallType::Intrinsic && Op->Name == Call::TraceStore)
+      if (const StringImm *Buf = Op->Args.at(0).as<StringImm>())
+        if (!ShadowedBufs.contains(Buf->Value))
+          BufferNames.insert(Buf->Value);
+    IRVisitor::visit(Op);
+  }
   void visit(const Let *Op) override {
     Op->Value.accept(this);
     ScopedBinding<int> Bind(Shadowed, Op->Name, 0);
@@ -200,6 +210,12 @@ public:
            "*);\n"
         << "  void (*Abort)(const char *);\n"
         << "  void (*ProfEnter)(int32_t);\n  void (*ProfExit)(int32_t);\n"
+        << "  void (*TraceLoad)(int32_t, int32_t, int32_t, const int32_t *, "
+           "const uint64_t *);\n"
+        << "  void (*TraceStore)(int32_t, int32_t, int32_t, const int32_t *, "
+           "const uint64_t *);\n"
+        << "  void (*TraceBegin)(int32_t, int32_t, const int32_t *);\n"
+        << "  void (*TraceEnd)(int32_t);\n"
         << "} hl_vtable;\n\n"
         << TypedefText.str() << "\n"
         << HelperText.str() << "\n"
@@ -969,10 +985,115 @@ private:
            ", " + emit(Op->Index) + ")";
   }
 
+  //===------------------------------------------------------------------===//
+  // Value tracing (Target::Trace only; see transforms/InjectTracing.h)
+  //===------------------------------------------------------------------===//
+
+  /// C expression for one lane's normalized 64-bit value word (the bit
+  /// normalization documented in observe/TraceStream.h, mirrored in
+  /// generated code so every engine writes identical records).
+  std::string traceBitsExpr(Type Elem, const std::string &X) {
+    if (Elem.isFloat()) {
+      needHelper("hl_trace_bits_f",
+                 "static inline uint64_t hl_trace_bits_f(double x) {\n"
+                 "  uint64_t r;\n  memcpy(&r, &x, 8);\n  return r;\n}");
+      return "hl_trace_bits_f((double)" + X + ")";
+    }
+    if (Elem.isUInt() || Elem.isBool())
+      return "(uint64_t)" + X;
+    return "(uint64_t)(int64_t)" + X;
+  }
+
+  /// Fills coords/bits arrays from an index temp and a value temp, then
+  /// calls the TraceLoad/TraceStore vtable slot with the stage id and type
+  /// code baked in at codegen time.
+  void emitTraceAccess(const char *Slot, const std::string &StageName, Type T,
+                       const std::string &Val, Type IdxT,
+                       const std::string &Idx) {
+    int Lanes = T.Lanes;
+    std::string Coords = freshName(StageName + "_tc");
+    std::string Bits = freshName(StageName + "_tb");
+    line("int32_t " + Coords + "[" + std::to_string(Lanes) + "];");
+    line("uint64_t " + Bits + "[" + std::to_string(Lanes) + "];");
+    if (T.isScalar()) {
+      line(Coords + "[0] = (int32_t)" + Idx + ";");
+      line(Bits + "[0] = " + traceBitsExpr(T, Val) + ";");
+    } else {
+      line("for (int32_t __l = 0; __l < " + std::to_string(Lanes) +
+           "; ++__l) {");
+      ++Indent;
+      line(Coords + "[__l] = (int32_t)" + laneRef(IdxT, Idx, "__l") + ";");
+      line(Bits + "[__l] = " +
+           traceBitsExpr(T.element(), laneRef(T, Val, "__l")) + ";");
+      --Indent;
+      line("}");
+    }
+    line("rt->" + std::string(Slot) + "(" +
+         std::to_string(profilerStageId(StageName)) + ", " +
+         std::to_string(int(traceTypeCode(T.element()))) + ", " +
+         std::to_string(Lanes) + ", " + Coords + ", " + Bits + "); /* " +
+         StageName + " */");
+  }
+
+  /// A trace_load intrinsic: the wrapped Load, evaluated through hoisted
+  /// index and value temps. Hoisting keeps nested trace events inside the
+  /// index firing exactly once and pins the event order to the IR's
+  /// left-to-right evaluation order, which C operand order would not. The
+  /// value goes through the per-lane gather helper regardless of index
+  /// shape — losing the dense-load optimization under trace-on is the
+  /// accepted cost of observing every lane's flat index.
+  std::string emitTraceLoad(const Call *Op) {
+    const StringImm *BufName = Op->Args.at(0).as<StringImm>();
+    const Load *L = Op->Args.at(1).as<Load>();
+    internal_assert(BufName && L) << "codegen: malformed trace_load";
+    Type T = L->NodeType;
+    std::string Idx = freshName(L->Name + "_tidx");
+    line("const " + cTypeOf(L->Index.type()) + " " + Idx + " = " +
+         emit(L->Index) + ";");
+    std::string Val = freshName(L->Name + "_tval");
+    std::string Buf = bufferName(L->Name);
+    if (T.isScalar())
+      line("const " + cTypeOf(T) + " " + Val + " = " + Buf + "[" + Idx +
+           "];");
+    else
+      line("const " + cTypeOf(T) + " " + Val + " = " +
+           vectorGatherHelper(T, L->Index.type()) + "(" + Buf + ", " + Idx +
+           ");");
+    emitTraceAccess("TraceLoad", BufName->Value, T, Val, L->Index.type(),
+                    Idx);
+    return Val;
+  }
+
+  /// A trace_store intrinsic (replaces the Store node): value, then index,
+  /// then the store itself, then the event — the same order the
+  /// interpreter and the VM execute.
+  void emitTraceStore(const Call *Op) {
+    const StringImm *BufName = Op->Args.at(0).as<StringImm>();
+    internal_assert(BufName && Op->Args.size() == 3)
+        << "codegen: malformed trace_store";
+    const Expr &Value = Op->Args.at(1);
+    const Expr &Index = Op->Args.at(2);
+    Type T = Value.type();
+    std::string Val = freshName(BufName->Value + "_tval");
+    line("const " + cTypeOf(T) + " " + Val + " = " + emit(Value) + ";");
+    std::string Idx = freshName(BufName->Value + "_tidx");
+    line("const " + cTypeOf(Index.type()) + " " + Idx + " = " + emit(Index) +
+         ";");
+    std::string Buf = bufferName(BufName->Value);
+    if (T.isScalar())
+      line(Buf + "[" + Idx + "] = " + Val + ";");
+    else
+      line(vectorScatterHelper(T, Index.type()) + "(" + Buf + ", " + Idx +
+           ", " + Val + ");");
+    emitTraceAccess("TraceStore", BufName->Value, T, Val, Index.type(), Idx);
+  }
+
   std::string emitCall(const Call *Op) {
     if (Op->CallKind == CallType::Intrinsic) {
       if (Op->Name == Call::TracePoint)
         return "0";
+      if (Op->Name == Call::TraceLoad)
+        return emitTraceLoad(Op);
       internal_error << "codegen: unknown intrinsic " << Op->Name;
     }
     internal_assert(Op->CallKind == CallType::PureExtern)
@@ -1071,6 +1192,36 @@ private:
         line("rt->" + std::string(Fn) + "(" +
              std::to_string(profilerStageId(Stage->Value)) + "); /* " +
              Stage->Value + " */");
+        return;
+      }
+      if (C && C->CallKind == CallType::Intrinsic &&
+          C->Name == Call::TraceStore) {
+        emitTraceStore(C);
+        return;
+      }
+      if (C && C->CallKind == CallType::Intrinsic &&
+          C->Name == Call::TraceBegin) {
+        const StringImm *Buf = C->Args.at(0).as<StringImm>();
+        internal_assert(Buf) << "codegen: malformed trace_begin";
+        int Dims = int(C->Args.size()) - 1;
+        std::string Arr = freshName(Buf->Value + "_text");
+        line("int32_t " + Arr + "[" + std::to_string(Dims > 0 ? Dims : 1) +
+             "];");
+        for (int D = 0; D < Dims; ++D)
+          line(Arr + "[" + std::to_string(D) + "] = (int32_t)(" +
+               emit(C->Args.at(size_t(D) + 1)) + ");");
+        line("rt->TraceBegin(" +
+             std::to_string(profilerStageId(Buf->Value)) + ", " +
+             std::to_string(Dims) + ", " + Arr + "); /* " + Buf->Value +
+             " */");
+        return;
+      }
+      if (C && C->CallKind == CallType::Intrinsic &&
+          C->Name == Call::TraceEnd) {
+        const StringImm *Buf = C->Args.at(0).as<StringImm>();
+        internal_assert(Buf) << "codegen: malformed trace_end";
+        line("rt->TraceEnd(" + std::to_string(profilerStageId(Buf->Value)) +
+             "); /* " + Buf->Value + " */");
         return;
       }
       line("(void)(" + emit(S.as<Evaluate>()->Value) + ");");

@@ -5,6 +5,7 @@
 #include "codegen/Interpreter.h"
 #include "codegen/Jit.h"
 #include "transforms/InjectProfiling.h"
+#include "transforms/InjectTracing.h"
 #include "vm/VmExecutable.h"
 
 using namespace halide;
@@ -37,12 +38,14 @@ public:
 
 std::shared_ptr<const Executable> halide::makeExecutable(
     const LoweredPipeline &P, const Target &T) {
-  // Profiling instrumentation happens here, after the lowering cache: a
-  // profile-on target gets a marker-bracketed copy of the shared lowered
-  // pipeline, so the lowering fingerprint never changes and profile-off
-  // executables are built from byte-identical IR.
-  if (T.Profile) {
-    LoweredPipeline Instrumented = injectProfiling(P);
+  // Observability instrumentation happens here, after the lowering cache:
+  // profile-on / trace-on targets get instrumented copies of the shared
+  // lowered pipeline, so the lowering fingerprint never changes and
+  // off-target executables are built from byte-identical IR.
+  if (T.Profile || T.Trace) {
+    LoweredPipeline Instrumented = T.Profile ? injectProfiling(P) : P;
+    if (T.Trace)
+      Instrumented = injectTracing(Instrumented);
     if (T.TargetBackend == Backend::Interpreter)
       return std::make_shared<InterpretedPipeline>(std::move(Instrumented), T);
     if (T.TargetBackend == Backend::VmBytecode)

@@ -5,6 +5,7 @@
 #include "ir/IROperators.h"
 #include "ir/IRPrinter.h"
 #include "observe/Profiler.h"
+#include "observe/TraceStream.h"
 
 #include <cmath>
 #include <cstring>
@@ -416,6 +417,46 @@ private:
           profilerExit(Id);
         return Value::intVal(Int(32), 0);
       }
+      if (Op->Name == Call::TraceLoad) {
+        // Args: {StringImm(buffer), Load}. The index is evaluated once and
+        // shared by the load and the event's coordinates.
+        const StringImm *Buf = Op->Args.at(0).as<StringImm>();
+        const Load *L = Op->Args.at(1).as<Load>();
+        internal_assert(Buf && L) << "malformed trace_load";
+        Value Index = eval(L->Index);
+        Value R = evalLoadWithIndex(L, Index);
+        emitAccessEvent(TraceEventKind::TraceLoad, Buf->Value, R, Index);
+        return R;
+      }
+      if (Op->Name == Call::TraceStore) {
+        // Args: {StringImm(buffer), Value, Index}. Same evaluation order
+        // as an untraced Store: value first, then index.
+        const StringImm *Buf = Op->Args.at(0).as<StringImm>();
+        internal_assert(Buf) << "malformed trace_store";
+        Value V = eval(Op->Args.at(1));
+        Value Index = eval(Op->Args.at(2));
+        doStore(Buf->Value, V, Index);
+        emitAccessEvent(TraceEventKind::TraceStore, Buf->Value, V, Index);
+        return Value::intVal(Int(32), 0);
+      }
+      if (Op->Name == Call::TraceBegin) {
+        const StringImm *Buf = Op->Args.at(0).as<StringImm>();
+        internal_assert(Buf) << "malformed trace_begin";
+        std::vector<int32_t> Extents;
+        for (size_t I = 1; I < Op->Args.size(); ++I)
+          Extents.push_back(int32_t(eval(Op->Args[I]).scalarInt()));
+        traceStreamEmit(profilerStageId(Buf->Value),
+                        TraceEventKind::TraceBegin, 0, 0, Extents.data(),
+                        int(Extents.size()), nullptr);
+        return Value::intVal(Int(32), 0);
+      }
+      if (Op->Name == Call::TraceEnd) {
+        const StringImm *Buf = Op->Args.at(0).as<StringImm>();
+        internal_assert(Buf) << "malformed trace_end";
+        traceStreamEmit(profilerStageId(Buf->Value),
+                        TraceEventKind::TraceEnd, 0, 0, nullptr, 0, nullptr);
+        return Value::intVal(Int(32), 0);
+      }
       internal_error << "interpreter: unknown intrinsic " << Op->Name;
     }
     internal_assert(Op->CallKind == CallType::PureExtern)
@@ -464,8 +505,12 @@ private:
   //===------------------------------------------------------------------===//
 
   Value evalLoad(const Load *Op) {
-    const BufferSlot &Slot = Buffers.get(Op->Name);
     Value Index = eval(Op->Index);
+    return evalLoadWithIndex(Op, Index);
+  }
+
+  Value evalLoadWithIndex(const Load *Op, const Value &Index) {
+    const BufferSlot &Slot = Buffers.get(Op->Name);
     Value R;
     R.T = Op->NodeType;
     int N = R.T.Lanes;
@@ -564,6 +609,41 @@ private:
         << " outside [0, " << Slot.SizeElems << ")";
   }
 
+  /// The store path shared by Store statements and trace_store intrinsics
+  /// (value and index already evaluated, in that order).
+  void doStore(const std::string &Name, const Value &V, const Value &Index) {
+    const BufferSlot &Slot = Buffers.get(Name);
+    int N = V.T.Lanes;
+    Stats.StoresPerBuffer[Name] += N;
+    for (int L = 0; L < N; ++L) {
+      int64_t Idx = Index.I[size_t(L)];
+      checkBounds(Name, Slot, Idx);
+      storeElem(Slot, Idx, V, L);
+      if (Slot.LastStoreOp) {
+        (*Slot.LastStoreOp)[size_t(Idx)] = OpCounter;
+        ++OpCounter;
+      }
+    }
+  }
+
+  /// Emits one load/store trace event: one flat coordinate and one
+  /// normalized value word per lane (see TraceStream.h).
+  void emitAccessEvent(TraceEventKind Kind, const std::string &Buf,
+                       const Value &V, const Value &Index) {
+    if (!traceStreamActive())
+      return;
+    int N = V.T.Lanes;
+    std::vector<int32_t> Coords(size_t(N), 0);
+    std::vector<uint64_t> Bits(size_t(N), 0);
+    for (int L = 0; L < N; ++L) {
+      Coords[size_t(L)] = int32_t(Index.I[size_t(L)]);
+      Bits[size_t(L)] = V.isFloat() ? traceBitsOfDouble(V.F[size_t(L)])
+                                    : traceBitsOfInt(V.I[size_t(L)]);
+    }
+    traceStreamEmit(profilerStageId(Buf), Kind, traceTypeCode(V.T), N,
+                    Coords.data(), N, Bits.data());
+  }
+
   //===------------------------------------------------------------------===//
   // Statement execution
   //===------------------------------------------------------------------===//
@@ -590,20 +670,9 @@ private:
       return;
     case IRNodeKind::Store: {
       const Store *Op = S.as<Store>();
-      const BufferSlot &Slot = Buffers.get(Op->Name);
       Value V = eval(Op->Value);
       Value Index = eval(Op->Index);
-      int N = V.T.Lanes;
-      Stats.StoresPerBuffer[Op->Name] += N;
-      for (int L = 0; L < N; ++L) {
-        int64_t Idx = Index.I[size_t(L)];
-        checkBounds(Op->Name, Slot, Idx);
-        storeElem(Slot, Idx, V, L);
-        if (Slot.LastStoreOp) {
-          (*Slot.LastStoreOp)[size_t(Idx)] = OpCounter;
-          ++OpCounter;
-        }
-      }
+      doStore(Op->Name, V, Index);
       return;
     }
     case IRNodeKind::Allocate:

@@ -385,6 +385,21 @@ struct Call final : ExprNode<Call> {
   /// Side effecting (profilerEnter/Exit); value is always int32 0.
   static const char *const ProfileStageStart;
   static const char *const ProfileStageEnd;
+  /// Value-tracing intrinsics injected by transforms/InjectTracing.h when
+  /// Target::Trace is set (observe/TraceStream.h receives the events).
+  /// TraceLoad wraps a Load in expression position — args are
+  /// {StringImm(buffer), Load} and the call evaluates to the load's value
+  /// (the index is evaluated exactly once, shared by the load and the
+  /// event's coordinates). TraceStore *replaces* a Store in statement
+  /// position — args are {StringImm(buffer), Value, Index}; the backend
+  /// evaluates value then index (the untraced Store's order), performs
+  /// the store, and emits the event. TraceBegin/TraceEnd bracket a
+  /// buffer's realization — Begin's args are {StringImm(buffer),
+  /// extent...}, End's just {StringImm(buffer)}; both are int32 0.
+  static const char *const TraceLoad;
+  static const char *const TraceStore;
+  static const char *const TraceBegin;
+  static const char *const TraceEnd;
 };
 
 /// A scoped value binding within an expression.

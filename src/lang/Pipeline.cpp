@@ -182,11 +182,23 @@ std::shared_ptr<const Executable> Pipeline::compile(const Target &T) {
   // alias one cached artifact.
   // Profile follows the same rule (see Target::Profile): instrumentation
   // happens in makeExecutable on a copy of the shared lowering, so only
-  // the executable key carries the bit.
+  // the executable key carries the bit. Trace likewise, except its key
+  // component also folds in every stage's per-Func trace flags — they
+  // select which accesses InjectTracing instruments, so flipping a flag
+  // must not alias a differently instrumented cached executable.
+  std::string TraceKey;
+  if (T.Trace) {
+    TraceKey = "#trace";
+    for (const auto &[Name, F] : buildEnvironment(Output.function()))
+      if (F.traceLoads() || F.traceStores() || F.traceRealizations())
+        TraceKey += "," + Name + ":" + (F.traceLoads() ? "l" : "") +
+                    (F.traceStores() ? "s" : "") +
+                    (F.traceRealizations() ? "r" : "");
+  }
   std::string ExecKey = LowerKey + "##" + backendName(T.TargetBackend) +
                         "#" + T.JitFlags + "#t" +
                         std::to_string(T.NumThreads) +
-                        (T.Profile ? "#profile" : "");
+                        (T.Profile ? "#profile" : "") + TraceKey;
 
   bool Created = false;
   std::shared_ptr<ExecSlot> Slot =

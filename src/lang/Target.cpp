@@ -35,7 +35,7 @@ std::string Target::lowerOptionsFingerprint() const {
 std::string Target::str() const {
   return backendName(TargetBackend) + lowerOptionsFingerprint() +
          (NumThreads > 0 ? "-threads" + std::to_string(NumThreads) : "") +
-         (Profile ? "-profile" : "") +
+         (Profile ? "-profile" : "") + (Trace ? "-trace" : "") +
          (JitFlags.empty() ? "" : " [" + JitFlags + "]");
 }
 
@@ -62,6 +62,8 @@ bool Target::parse(const std::string &Text, Target *Out) {
       T.DisableStorageFolding = true;
     else if (Parts[I] == "profile")
       T.Profile = true;
+    else if (Parts[I] == "trace")
+      T.Trace = true;
     else if (startsWith(Parts[I], "threads")) {
       int N = std::atoi(Parts[I].c_str() + 7);
       if (N <= 0)

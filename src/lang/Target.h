@@ -73,6 +73,15 @@ struct Target {
   /// and an off-target run is bit-identical, marker-free code.
   bool Profile = false;
 
+  /// Value-level tracing (src/observe/TraceStream.h): the executable is
+  /// instrumented with per-value load/store/realization events at
+  /// backend-compile time (transforms/InjectTracing.h). Like Profile this
+  /// does not affect lowering — it is folded into the executable cache key
+  /// only (together with the per-stage Func::traceLoads()-style flags), so
+  /// trace-on and trace-off targets share one lowered pipeline and an
+  /// off-target run is bit-identical, event-free code.
+  bool Trace = false;
+
   Target() = default;
   explicit Target(Backend B) : TargetBackend(B) {}
 
@@ -107,6 +116,11 @@ struct Target {
     T.Profile = Enable;
     return T;
   }
+  Target withTrace(bool Enable = true) const {
+    Target T = *this;
+    T.Trace = Enable;
+    return T;
+  }
 
   /// True when this target invokes the host C compiler (JitC and the
   /// GpuSim device path that rides on it).
@@ -132,7 +146,7 @@ struct Target {
   /// Parses the bench_runner --backend flag form: "interp"/"interpreter",
   /// "vm"/"vm_bytecode", "jit"/"jit_c", "gpu"/"gpu_sim", optionally followed by
   /// "-no_sliding_window"/"-no_storage_folding" features, a
-  /// "-threads<N>" thread request, and "-profile". JitFlags have no
+  /// "-threads<N>" thread request, "-profile", and "-trace". JitFlags have no
   /// textual form here — str()'s " [flags]" suffix is display-only.
   /// Returns false (and leaves \p Out alone) on an unknown name.
   static bool parse(const std::string &Text, Target *Out);
@@ -142,7 +156,7 @@ struct Target {
            DisableSlidingWindow == Other.DisableSlidingWindow &&
            DisableStorageFolding == Other.DisableStorageFolding &&
            JitFlags == Other.JitFlags && NumThreads == Other.NumThreads &&
-           Profile == Other.Profile;
+           Profile == Other.Profile && Trace == Other.Trace;
   }
   bool operator!=(const Target &Other) const { return !(*this == Other); }
 };

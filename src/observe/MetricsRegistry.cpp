@@ -7,6 +7,7 @@
 #include "observe/MetricsRegistry.h"
 
 #include "lang/Pipeline.h"
+#include "observe/TraceStream.h"
 #include "runtime/BufferPool.h"
 #include "runtime/GpuSim.h"
 #include "runtime/TaskScheduler.h"
@@ -63,6 +64,11 @@ MetricsSnapshot metricsSnapshot() {
       FramesSubmitted.load(std::memory_order_relaxed));
   Add("serve.frames_completed",
       FramesCompleted.load(std::memory_order_relaxed));
+
+  TraceStreamStats TR = traceStreamStats();
+  Add("trace.events_emitted", TR.EventsEmitted);
+  Add("trace.events_dropped", TR.EventsDropped);
+  Add("trace.bytes_written", TR.BytesWritten);
   return Snap;
 }
 

@@ -22,7 +22,8 @@
 ///   pool.hits, pool.fresh_allocations, pool.capacity_evictions,
 ///   pool.bytes_held, pool.bytes_live,
 ///   gpu.kernel_launches, gpu.blocks_executed,
-///   serve.frames_submitted, serve.frames_completed
+///   serve.frames_submitted, serve.frames_completed,
+///   trace.events_emitted, trace.events_dropped, trace.bytes_written
 ///
 //===----------------------------------------------------------------------===//
 

@@ -178,6 +178,12 @@ int profilerStageId(const std::string &Name) {
   return registry().intern(Name);
 }
 
+int profilerStageCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return (int)R.Names.size();
+}
+
 std::string profilerStageName(int Id) {
   Registry &R = registry();
   std::lock_guard<std::mutex> Lock(R.Mu);

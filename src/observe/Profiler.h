@@ -89,6 +89,9 @@ bool profilerEnabled();
 int profilerStageId(const std::string &Name);
 /// The name interned under \p Id ("?" if out of range).
 std::string profilerStageName(int Id);
+/// Number of ids interned so far (valid ids are [0, count)). Used by
+/// observe/TraceStream.cpp to append stage-name records to a trace file.
+int profilerStageCount();
 
 /// Stage entry/exit, called by instrumented code. Enter bumps the
 /// invocation count, pushes the stage, and starts charging it self time;

@@ -6,14 +6,19 @@
 #include "autotune/ScheduleSpace.h"
 #include "codegen/Executable.h"
 #include "ir/IROperators.h"
+#include "observe/TraceStream.h"
 #include "runtime/TaskScheduler.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <sstream>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace halide;
 
@@ -74,6 +79,15 @@ bool diffScalarParity(const DiffOptions &Opts) {
   if (Env && *Env)
     return std::atoi(Env) != 0;
   return Opts.ScalarVectorParity;
+}
+
+/// Trace-parity prefix length: HALIDE_DIFF_TRACE wins over the option so
+/// CI can widen (or disable) the trace-on-vs-off check per job.
+int diffTraceParity(const DiffOptions &Opts) {
+  const char *Env = std::getenv("HALIDE_DIFF_TRACE");
+  if (Env && *Env)
+    return std::atoi(Env);
+  return Opts.TraceParityChecks;
 }
 
 /// Renders the stats fields the determinism contract covers, for
@@ -457,6 +471,67 @@ DiffReport halide::runScheduleDifferential(App &A, const DiffOptions &Opts) {
                                               std::to_string(Rc)});
       else if (!buffersMatch(Ref, OutC, Opts.FloatTolerance, 0, &Detail))
         R.Mismatches.push_back({Desc, "codegen_c vs reference", Detail});
+    }
+
+    // The trace-parity leg: the same lowered pipeline runs again with
+    // value tracing enabled, streaming to a throwaway file. The traced
+    // run must reproduce the untraced output bit for bit (tracing is
+    // observation, not perturbation), and summing the trace's per-lane
+    // load/store records per buffer must land exactly on the untraced
+    // run's ExecutionStats — the instrumentation saw every access the
+    // counters saw, and nothing else.
+    if (ScheduleIndex < diffTraceParity(Opts)) {
+      const std::string TracePath = "/tmp/halide_diff_trace_" +
+                                    std::to_string(getpid()) + ".bin";
+      std::shared_ptr<void> KeepTr;
+      RawBuffer OutTr = makeAppOutput(A, W, H, &KeepTr);
+      ParamBindings PB = Inputs;
+      PB.bind(A.Output.name(), OutTr);
+      if (!traceStreamStart(TracePath)) {
+        R.Mismatches.push_back({Desc, "trace stream",
+                                "traceStreamStart(" + TracePath +
+                                    ") failed"});
+      } else {
+        int Rc = runOnBackend(ExecSerial.withTrace(), P, PB);
+        traceStreamStop();
+        std::vector<TraceEvent> Events;
+        std::string Detail;
+        if (Rc != 0)
+          R.Mismatches.push_back({Desc, "traced " + ExecName + " exit code",
+                                  "pipeline returned " +
+                                      std::to_string(Rc)});
+        else if (!buffersMatch(OutExec, OutTr, 0.0, 0, &Detail))
+          R.Mismatches.push_back(
+              {Desc, "traced vs untraced " + ExecName, Detail});
+        else if (!readTraceFile(TracePath, &Events, &Detail))
+          R.Mismatches.push_back({Desc, "trace file", Detail});
+        else {
+          std::map<uint16_t, std::string> Names;
+          for (const TraceEvent &E : Events)
+            if (E.Kind == TraceEventKind::TraceName)
+              Names[E.StageId] = E.Name;
+          std::map<std::string, int64_t> Loads, Stores;
+          for (const TraceEvent &E : Events) {
+            if (E.Kind == TraceEventKind::TraceLoad)
+              Loads[Names[E.StageId]] += int64_t(E.Coords.size());
+            else if (E.Kind == TraceEventKind::TraceStore)
+              Stores[Names[E.StageId]] += int64_t(E.Coords.size());
+          }
+          if (Loads != SerialStats.LoadsPerBuffer ||
+              Stores != SerialStats.StoresPerBuffer) {
+            // Render the trace-derived counts through the stats printer
+            // so the diagnostic lines up field-for-field.
+            ExecutionStats TraceStats = SerialStats;
+            TraceStats.LoadsPerBuffer = std::move(Loads);
+            TraceStats.StoresPerBuffer = std::move(Stores);
+            R.Mismatches.push_back(
+                {Desc, "trace-derived vs " + ExecName + " memory traffic",
+                 "stats {" + statsSummary(SerialStats) + "} trace {" +
+                     statsSummary(TraceStats) + "}"});
+          }
+        }
+      }
+      std::remove(TracePath.c_str());
     }
 
     // The scalar-vs-vector parity leg: re-apply the genome, demote its

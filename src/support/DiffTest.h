@@ -29,7 +29,13 @@
 /// demoted to serial (splits intact) and requires the vectorized run to
 /// reproduce the scalarized output bit-for-bit with identical per-buffer
 /// load/store counts (DiffOptions::ScalarVectorParity /
-/// HALIDE_DIFF_SCALAR).
+/// HALIDE_DIFF_SCALAR). Finally a trace-parity leg re-runs a prefix of
+/// the sample with value tracing enabled (Target::withTrace() streaming
+/// to a temporary file): the traced run must reproduce the untraced
+/// output bit-for-bit, and the per-buffer load/store lane counts summed
+/// from the trace itself must equal the untraced run's ExecutionStats —
+/// instrumentation may not change the computation, and may not miss or
+/// invent an access (DiffOptions::TraceParityChecks / HALIDE_DIFF_TRACE).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -118,6 +124,16 @@ struct DiffOptions {
   /// identical per-buffer load/store counts. The HALIDE_DIFF_SCALAR
   /// environment variable overrides it process-wide (0 disables).
   bool ScalarVectorParity = true;
+  /// The trace-parity leg: the first this-many sampled schedules are
+  /// re-executed with value tracing enabled (Target::withTrace(), stream
+  /// directed at a temporary file that is deleted afterwards). The traced
+  /// run must reproduce the untraced output bit-for-bit, and summing the
+  /// trace's per-lane load/store records per buffer must reproduce the
+  /// untraced run's ExecutionStats LoadsPerBuffer/StoresPerBuffer exactly
+  /// — the instrumentation neither perturbs the computation nor drops or
+  /// duplicates an access. 0 disables. The HALIDE_DIFF_TRACE environment
+  /// variable overrides it process-wide (0 to disable).
+  int TraceParityChecks = 1;
   /// Also push every schedule through the C backend (compile + dlopen).
   bool RunCodeGenC = true;
   /// Host-compiler flags for the C backend. -O0 because this harness

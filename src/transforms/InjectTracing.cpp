@@ -1,0 +1,122 @@
+//===-- transforms/InjectTracing.cpp - Value-trace instrumentation --------===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/InjectTracing.h"
+
+#include "ir/IRMutator.h"
+#include "lang/Function.h"
+#include "transforms/StorageFlattening.h"
+
+#include <vector>
+
+namespace halide {
+
+namespace {
+
+class InjectTracing : public IRMutator {
+public:
+  InjectTracing(const std::map<std::string, Function> &Env) : Env(Env) {
+    for (const auto &[Name, F] : Env)
+      if (F.traceLoads() || F.traceStores() || F.traceRealizations())
+        TraceAll = false;
+  }
+
+  bool shouldTraceLoads(const std::string &Buf) const {
+    auto It = Env.find(Buf);
+    return It == Env.end() ? TraceAll : TraceAll || It->second.traceLoads();
+  }
+
+  bool shouldTraceStores(const std::string &Buf) const {
+    auto It = Env.find(Buf);
+    return It == Env.end() ? TraceAll : TraceAll || It->second.traceStores();
+  }
+
+  bool shouldTraceRealizations(const std::string &Buf) const {
+    auto It = Env.find(Buf);
+    return It == Env.end() ? TraceAll
+                           : TraceAll || It->second.traceRealizations();
+  }
+
+private:
+  const std::map<std::string, Function> &Env;
+  /// With no per-stage flags anywhere, a traced target traces everything.
+  bool TraceAll = true;
+
+  Expr visit(const Load *Op) override {
+    Expr E = IRMutator::visit(Op);
+    if (!shouldTraceLoads(Op->Name))
+      return E;
+    return Call::make(Op->NodeType, Call::TraceLoad,
+                      {StringImm::make(Op->Name), E}, CallType::Intrinsic);
+  }
+
+  Stmt visit(const Store *Op) override {
+    Expr Value = mutate(Op->Value);
+    Expr Index = mutate(Op->Index);
+    if (!shouldTraceStores(Op->Name)) {
+      if (Value.sameAs(Op->Value) && Index.sameAs(Op->Index))
+        return Op;
+      return Store::make(Op->Name, std::move(Value), std::move(Index));
+    }
+    return Evaluate::make(Call::make(
+        Int(32), Call::TraceStore,
+        {StringImm::make(Op->Name), std::move(Value), std::move(Index)},
+        CallType::Intrinsic));
+  }
+
+  Stmt visit(const Allocate *Op) override {
+    Stmt Body = mutate(Op->Body);
+    if (shouldTraceRealizations(Op->Name))
+      Body = bracketRealization(Op->Name, Op->Extents, std::move(Body));
+    if (Body.sameAs(Op->Body))
+      return Op;
+    return Allocate::make(Op->Name, Op->ElemType, Op->Extents,
+                          std::move(Body), Op->InSharedMemory);
+  }
+
+public:
+  /// Wraps \p Body in begin(extents...)/end events for \p Buf.
+  static Stmt bracketRealization(const std::string &Buf,
+                                 const std::vector<Expr> &Extents,
+                                 Stmt Body) {
+    std::vector<Expr> BeginArgs = {StringImm::make(Buf)};
+    for (const Expr &E : Extents)
+      BeginArgs.push_back(E);
+    Stmt Begin = Evaluate::make(Call::make(Int(32), Call::TraceBegin,
+                                           std::move(BeginArgs),
+                                           CallType::Intrinsic));
+    Stmt End = Evaluate::make(Call::make(Int(32), Call::TraceEnd,
+                                         {StringImm::make(Buf)},
+                                         CallType::Intrinsic));
+    return Block::make(std::move(Begin),
+                       Block::make(std::move(Body), std::move(End)));
+  }
+};
+
+} // namespace
+
+LoweredPipeline injectTracing(const LoweredPipeline &P) {
+  LoweredPipeline Out = P;
+  InjectTracing M(P.Env);
+  Out.Body = M.mutate(P.Body);
+  if (!Out.Body.defined())
+    return Out;
+  // The output buffer is caller-allocated (no Allocate node); bracket the
+  // whole pipeline with its realization using the buffer's extent
+  // metadata parameters, which every backend can resolve.
+  const std::string OutputName = P.Output.name();
+  if (M.shouldTraceRealizations(OutputName)) {
+    std::vector<Expr> Extents;
+    for (int D = 0; D < P.Output.dimensions(); ++D)
+      Extents.push_back(Variable::make(
+          Int(32), bufferExtentName(OutputName, D), /*IsParam=*/true));
+    Out.Body = InjectTracing::bracketRealization(OutputName, Extents,
+                                                 std::move(Out.Body));
+  }
+  return Out;
+}
+
+} // namespace halide

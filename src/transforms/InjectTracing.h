@@ -1,0 +1,51 @@
+//===-- transforms/InjectTracing.h - Value-trace instrumentation -*- C++ -*-===//
+//
+// Part of the halide-pldi13-repro project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation pass behind Target::Trace. Wraps the selected
+/// stages' memory traffic in tracing intrinsics each backend executes
+/// against observe/TraceStream.h:
+///
+///   - every Load from a traced buffer becomes Call::TraceLoad (expression
+///     position: args {StringImm(buffer), Load}; evaluates to the load's
+///     value with the index computed exactly once),
+///   - every Store to a traced buffer becomes an Evaluate'd
+///     Call::TraceStore (args {StringImm(buffer), Value, Index}; the
+///     backend evaluates value then index — the untraced Store order —
+///     performs the store, then emits the event),
+///   - every Allocate of a traced buffer has its body bracketed by
+///     Evaluate'd Call::TraceBegin (args {StringImm(buffer), extent...})
+///     and Call::TraceEnd; the output buffer, which has no Allocate, is
+///     bracketed around the whole pipeline body using its
+///     "<name>.extent.<d>" metadata parameters.
+///
+/// Stage selection follows Func::traceLoads()/traceStores()/
+/// traceRealizations(): if no stage in the pipeline requests anything, a
+/// traced target instruments every buffer (including input images, which
+/// have no Func to carry flags).
+///
+/// Like InjectProfiling the pass runs in makeExecutable(), on a copy of
+/// the cached LoweredPipeline — never inside lower() — so tracing does not
+/// enter the lowering fingerprint, trace-on and trace-off targets share
+/// one cached lowering, and an off-target run executes bit-identical,
+/// event-free code (the zero-cost-when-off guarantee TracingTest asserts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALIDE_TRANSFORMS_INJECTTRACING_H
+#define HALIDE_TRANSFORMS_INJECTTRACING_H
+
+#include "transforms/Lower.h"
+
+namespace halide {
+
+/// Returns \p P with the traced stages' loads/stores/realizations wrapped
+/// in tracing intrinsics. \p P itself is not modified.
+LoweredPipeline injectTracing(const LoweredPipeline &P);
+
+} // namespace halide
+
+#endif // HALIDE_TRANSFORMS_INJECTTRACING_H

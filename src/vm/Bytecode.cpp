@@ -64,6 +64,10 @@ const char *halide::vmOpName(VmOp Op) {
   case VmOp::CountParallel: return "count_parallel";
   case VmOp::ProfEnter: return "prof_enter";
   case VmOp::ProfExit: return "prof_exit";
+  case VmOp::TraceLoad: return "trace.load";
+  case VmOp::TraceStore: return "trace.store";
+  case VmOp::TraceBegin: return "trace.begin";
+  case VmOp::TraceEnd: return "trace.end";
   case VmOp::Halt: return "halt";
   }
   return "unknown";
@@ -147,6 +151,17 @@ std::string VmProgram::disassemble() const {
     case VmOp::ProfEnter:
     case VmOp::ProfExit:
       OS << " \"" << StageNames[size_t(In.Aux)] << "\"";
+      break;
+    case VmOp::TraceLoad:
+    case VmOp::TraceStore:
+      OS << " \"" << Buffers[size_t(In.Aux)].Name << "\"[r" << In.A
+         << (In.SignedWrap ? " ..]" : "]") << ", r" << In.B;
+      break;
+    case VmOp::TraceBegin:
+      OS << " \"" << Buffers[size_t(In.Aux)].Name << "\" extents=r" << In.A;
+      break;
+    case VmOp::TraceEnd:
+      OS << " \"" << Buffers[size_t(In.Aux)].Name << "\"";
       break;
     case VmOp::ParFor: {
       const VmTaskDesc &T = Tasks[size_t(In.Dst)];

@@ -118,6 +118,20 @@ enum class VmOp : uint8_t {
   ProfEnter, ///< enter stage StageNames[Aux]
   ProfExit,  ///< exit stage StageNames[Aux]
 
+  // Value-trace events (present only in Target::Trace programs; see
+  // transforms/InjectTracing.h and observe/TraceStream.h). Aux is the
+  // buffer-table index — the buffer name *is* the trace stage, and the
+  // executable pre-resolves each traced buffer's process-wide stage id.
+  // TraceLoad/TraceStore follow the matching memory op: A is its index
+  // register (the scalar base register when SignedWrap is 1, i.e. the
+  // dense form), B is the value register, Lanes the lane count.
+  TraceLoad,  ///< event: loaded b[0..Lanes) from buffer Aux at A's indices
+  TraceStore, ///< event: stored b[0..Lanes) to buffer Aux at A's indices
+  /// Realization begin event: Lanes extents in consecutive scalar
+  /// registers starting at A.
+  TraceBegin,
+  TraceEnd, ///< realization end event for buffer Aux
+
   Halt, ///< end of program
 };
 

@@ -279,6 +279,18 @@ private:
     return Dst;
   }
 
+  /// A TraceLoad/TraceStore event instruction: A is the index (or, when
+  /// \p Dense, scalar base) register of the memory op it follows, B the
+  /// value register. SignedWrap carries the dense flag; Bits/Lanes the
+  /// value shape.
+  VmInstr traceAccess(VmOp Op, Type T, uint32_t IdxReg, uint32_t ValReg,
+                      bool Dense, int32_t Buf) {
+    VmInstr Tr = elemwise(Op, T, 0, IdxReg, ValReg);
+    Tr.SignedWrap = Dense ? 1 : 0;
+    Tr.Aux = Buf;
+    return Tr;
+  }
+
   /// Unit-stride ramp index: the dense vector access shape. Such loads
   /// and stores compile only the scalar base and move the whole lane
   /// group per dispatch (LoadDense/StoreDense).
@@ -316,6 +328,31 @@ private:
       // arguments.
       if (Op->Name == Call::TracePoint)
         return constInt(0);
+      if (Op->Name == Call::TraceLoad) {
+        // {StringImm(buffer), Load}: the load compiles exactly as an
+        // untraced load (dense form included), followed by a trace op
+        // reading the same index and destination registers.
+        const StringImm *BufName = Op->Args.at(0).as<StringImm>();
+        const Load *L = Op->Args.at(1).as<Load>();
+        internal_assert(BufName && L) << "vm: malformed trace_load";
+        int32_t Buf = BufScope.get(L->Name);
+        Type T = L->NodeType;
+        bool Dense = false;
+        uint32_t IdxReg;
+        if (const Ramp *R = asDenseRamp(L->Index)) {
+          IdxReg = compileExpr(R->Base);
+          Dense = true;
+        } else {
+          IdxReg = compileExpr(L->Index);
+        }
+        uint32_t Dst = allocReg(T.Lanes);
+        VmInstr In = elemwise(Dense ? VmOp::LoadDense : VmOp::Load, T, Dst,
+                              IdxReg);
+        In.Aux = Buf;
+        emit(In);
+        emit(traceAccess(VmOp::TraceLoad, T, IdxReg, Dst, Dense, Buf));
+        return Dst;
+      }
       internal_error << "vm: unknown intrinsic " << Op->Name;
     }
     internal_assert(Op->CallKind == CallType::PureExtern)
@@ -450,6 +487,62 @@ private:
           In.Op = C->Name == Call::ProfileStageStart ? VmOp::ProfEnter
                                                      : VmOp::ProfExit;
           In.Aux = internStageName(Stage->Value);
+          emit(In);
+          return;
+        }
+        if (C->Name == Call::TraceStore) {
+          // {StringImm(buffer), Value, Index}: the store compiles exactly
+          // as an untraced Store (value before index, dense form
+          // included), followed by a trace op reading the same registers.
+          const StringImm *BufName = C->Args.at(0).as<StringImm>();
+          internal_assert(BufName) << "vm: malformed trace_store";
+          int32_t Buf = BufScope.get(BufName->Value);
+          const Expr &Value = C->Args.at(1);
+          const Expr &Index = C->Args.at(2);
+          uint32_t Val = compileExpr(Value);
+          bool Dense = false;
+          uint32_t IdxReg;
+          if (const Ramp *R = asDenseRamp(Index)) {
+            IdxReg = compileExpr(R->Base);
+            Dense = true;
+          } else {
+            IdxReg = compileExpr(Index);
+          }
+          VmInstr In = elemwise(Dense ? VmOp::StoreDense : VmOp::Store,
+                                Value.type(), 0, Val, IdxReg);
+          In.Aux = Buf;
+          emit(In);
+          emit(traceAccess(VmOp::TraceStore, Value.type(), IdxReg, Val,
+                           Dense, Buf));
+          return;
+        }
+        if (C->Name == Call::TraceBegin) {
+          // Extents move into a contiguous scalar register block so the
+          // event op can read them as one range.
+          const StringImm *BufName = C->Args.at(0).as<StringImm>();
+          internal_assert(BufName) << "vm: malformed trace_begin";
+          int32_t Buf = BufScope.get(BufName->Value);
+          int Dims = int(C->Args.size()) - 1;
+          uint32_t Base = allocReg(Dims > 0 ? Dims : 1);
+          for (int I = 0; I < Dims; ++I) {
+            uint32_t E = compileExpr(C->Args[size_t(I) + 1]);
+            emit(elemwise(VmOp::Mov, Int(32), Base + uint32_t(I), E));
+          }
+          VmInstr In;
+          In.Op = VmOp::TraceBegin;
+          In.A = Base;
+          In.Lanes = uint16_t(Dims);
+          In.Aux = Buf;
+          emit(In);
+          return;
+        }
+        if (C->Name == Call::TraceEnd) {
+          const StringImm *BufName = C->Args.at(0).as<StringImm>();
+          internal_assert(BufName) << "vm: malformed trace_end";
+          VmInstr In;
+          In.Op = VmOp::TraceEnd;
+          In.Lanes = 0;
+          In.Aux = BufScope.get(BufName->Value);
           emit(In);
           return;
         }
@@ -620,11 +713,25 @@ private:
       if (VmExtern(In.Aux) == VmExtern::Pow)
         Out->push_back({In.B, L});
       break;
+    case VmOp::TraceLoad:
+    case VmOp::TraceStore:
+      // A is the index register (a single scalar base in the dense form,
+      // flagged in SignedWrap), B the value lanes. Missing these would
+      // leave a traced access's registers out of a parallel task's
+      // closure.
+      Out->push_back({In.A, In.SignedWrap ? 1 : L});
+      Out->push_back({In.B, L});
+      break;
+    case VmOp::TraceBegin:
+      if (L)
+        Out->push_back({In.A, L});
+      break;
     case VmOp::Jump:
     case VmOp::FreeOp:
     case VmOp::TaskRet:
     case VmOp::ProfEnter:
     case VmOp::ProfExit:
+    case VmOp::TraceEnd:
     case VmOp::Halt:
       break;
     default:

@@ -3,6 +3,7 @@
 #include "vm/VmExecutable.h"
 
 #include "observe/Profiler.h"
+#include "observe/TraceStream.h"
 #include "runtime/TaskScheduler.h"
 #include "vm/VmCompiler.h"
 
@@ -147,8 +148,12 @@ void releaseContext(std::unique_ptr<VmContext> C) {
 class Runner {
 public:
   Runner(const VmProgram &Prog, const std::vector<uint8_t> &Kinds,
-         const std::vector<int> &StageIds, int Threads)
-      : Prog(Prog), Kinds(Kinds), StageIds(StageIds), Threads(Threads) {}
+         const std::vector<int> &StageIds,
+         const std::vector<int> &TraceStageIds,
+         const std::vector<uint8_t> &TraceTypeCodes, int Threads)
+      : Prog(Prog), Kinds(Kinds), StageIds(StageIds),
+        TraceStageIds(TraceStageIds), TraceTypeCodes(TraceTypeCodes),
+        Threads(Threads) {}
 
   /// Executes from \p StartPC until Halt or TaskRet.
   void exec(VmContext &C, size_t PC) const;
@@ -165,12 +170,19 @@ private:
   const VmProgram &Prog;
   const std::vector<uint8_t> &Kinds; ///< ElemKind per buffer slot
   const std::vector<int> &StageIds;  ///< profiler id per StageNames entry
+  const std::vector<int> &TraceStageIds;      ///< trace stage id per buffer
+  const std::vector<uint8_t> &TraceTypeCodes; ///< trace type code per buffer
   const int Threads; ///< effective thread request (>= 1)
 };
 
 void Runner::exec(VmContext &C, size_t PC) const {
   VmSlot *R = C.Regs.data();
   const VmInstr *Code = Prog.Code.data();
+
+  // Scratch for trace-event records; only the trace cases touch these,
+  // and default-constructed vectors cost nothing here.
+  std::vector<int32_t> TraceCoords;
+  std::vector<uint64_t> TraceBits;
 
   auto checkBounds = [&](const RtBuf &B, size_t BI, int64_t Idx) {
     internal_assert(Idx >= 0 && (B.SizeElems == 0 || Idx < B.SizeElems))
@@ -526,6 +538,46 @@ void Runner::exec(VmContext &C, size_t PC) const {
       profilerExit(StageIds[size_t(In.Aux)]);
       break;
 
+    case VmOp::TraceLoad:
+    case VmOp::TraceStore: {
+      if (!traceStreamActive())
+        break; // one relaxed atomic load when no stream is open
+      const size_t BI = size_t(In.Aux);
+      const bool Dense = In.SignedWrap != 0;
+      const int64_t Base0 = R[In.A].I;
+      const ElemKind K = ElemKind(Kinds[BI]);
+      const bool IsFloat = K == ElemKind::F32 || K == ElemKind::F64;
+      TraceCoords.resize(size_t(L));
+      TraceBits.resize(size_t(L));
+      for (int I = 0; I < L; ++I) {
+        TraceCoords[size_t(I)] = int32_t(Dense ? Base0 + I : R[In.A + I].I);
+        TraceBits[size_t(I)] = IsFloat ? traceBitsOfDouble(R[In.B + I].F)
+                                       : traceBitsOfInt(R[In.B + I].I);
+      }
+      traceStreamEmit(TraceStageIds[BI],
+                      In.Op == VmOp::TraceLoad ? TraceEventKind::TraceLoad
+                                               : TraceEventKind::TraceStore,
+                      TraceTypeCodes[BI], L, TraceCoords.data(), L,
+                      TraceBits.data());
+      break;
+    }
+    case VmOp::TraceBegin: {
+      if (!traceStreamActive())
+        break;
+      TraceCoords.resize(size_t(L));
+      for (int I = 0; I < L; ++I)
+        TraceCoords[size_t(I)] = int32_t(R[In.A + I].I);
+      traceStreamEmit(TraceStageIds[size_t(In.Aux)],
+                      TraceEventKind::TraceBegin, 0, 0, TraceCoords.data(), L,
+                      nullptr);
+      break;
+    }
+    case VmOp::TraceEnd:
+      if (traceStreamActive())
+        traceStreamEmit(TraceStageIds[size_t(In.Aux)],
+                        TraceEventKind::TraceEnd, 0, 0, nullptr, 0, nullptr);
+      break;
+
     case VmOp::Halt:
       return;
     }
@@ -608,6 +660,16 @@ VmExecutable::VmExecutable(LoweredPipeline LP, Target T)
   StageIds.reserve(Prog.StageNames.size());
   for (const std::string &Name : Prog.StageNames)
     StageIds.push_back(profilerStageId(Name));
+  for (const VmInstr &In : Prog.Code) {
+    if (In.Op != VmOp::TraceLoad && In.Op != VmOp::TraceStore &&
+        In.Op != VmOp::TraceBegin && In.Op != VmOp::TraceEnd)
+      continue;
+    for (const VmBufferDesc &Desc : Prog.Buffers) {
+      TraceStageIds.push_back(profilerStageId(Desc.Name));
+      TraceTypeCodes.push_back(traceTypeCode(Desc.ElemType));
+    }
+    break;
+  }
 }
 
 std::shared_ptr<const VmExecutable> halide::vmCompile(
@@ -663,7 +725,8 @@ int VmExecutable::run(const ParamBindings &Params,
 
   const int Threads =
       T.NumThreads > 0 ? T.NumThreads : taskSchedulerThreads();
-  Runner R(Prog, BufKinds, StageIds, Threads < 1 ? 1 : Threads);
+  Runner R(Prog, BufKinds, StageIds, TraceStageIds, TraceTypeCodes,
+           Threads < 1 ? 1 : Threads);
   R.exec(Root, 0);
 
   if (Stats) {

@@ -67,6 +67,12 @@ private:
   /// (resolved once here so ProfEnter/ProfExit dispatch is a table
   /// lookup). Empty for uninstrumented programs.
   std::vector<int> StageIds;
+  /// Per-buffer trace stage ids and packed element type codes
+  /// (observe/TraceStream.h), one per buffer-table slot, resolved once
+  /// here so trace dispatch never touches the name registry. Populated
+  /// only when the program contains trace ops.
+  std::vector<int> TraceStageIds;
+  std::vector<uint8_t> TraceTypeCodes;
   mutable std::once_flag ListingOnce;
   mutable std::string Listing;
 };
